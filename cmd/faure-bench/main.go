@@ -1,0 +1,80 @@
+// Command faure-bench regenerates the paper's Table 4: running time of
+// the Listing 2 reachability analyses (recursive q4–q5 and the failure
+// patterns q6–q8) over forwarding state derived from a synthetic BGP
+// RIB, with the relational ("sql") and condition-solving ("Z3" in the
+// paper, our solver here) phases reported separately.
+//
+//	faure-bench -prefixes 1000,10000 [-seed 1] [-pool 10] [-ablate]
+//
+// The paper's largest input (922067 prefixes, the full route-views
+// RIB) is supported but takes correspondingly long; pass it
+// explicitly: -prefixes 922067.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"faure"
+)
+
+func main() {
+	prefixes := flag.String("prefixes", "1000,10000", "comma-separated prefix counts to sweep")
+	seed := flag.Int64("seed", 1, "workload seed")
+	pool := flag.Int("pool", 10, "link-state variable pool size (>= 3)")
+	ablate := flag.Bool("ablate", false, "also run the design-choice ablations at the first prefix count")
+	flag.Parse()
+
+	var sizes []int
+	for _, f := range strings.Split(*prefixes, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "faure-bench: bad prefix count %q\n", f)
+			os.Exit(2)
+		}
+		sizes = append(sizes, n)
+	}
+
+	var results []*faure.Table4Result
+	for _, n := range sizes {
+		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: *seed, PoolSize: *pool})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faure-bench:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+	fmt.Println("Table 4: running time of reachability analysis (synthetic RIB workload)")
+	fmt.Print(faure.FormatTable4(results))
+
+	if *ablate {
+		fmt.Println()
+		fmt.Println("Ablations (prefix count =", sizes[0], "):")
+		variants := []struct {
+			name string
+			opts faure.Options
+		}{
+			{"baseline", faure.Options{}},
+			{"no-absorb", faure.Options{NoAbsorb: true}},
+			{"no-eager-prune", faure.Options{NoEagerPrune: true}},
+			{"no-index", faure.Options{NoIndex: true}},
+			{"no-solver-cache", faure.Options{NoSolverCache: true}},
+		}
+		for _, v := range variants {
+			res, err := faure.RunTable4(faure.Table4Config{Prefixes: sizes[0], Seed: *seed, PoolSize: *pool, Options: v.opts})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "faure-bench:", err)
+				os.Exit(1)
+			}
+			total := res.Rows[0].SQL + res.Rows[0].Solver
+			for _, r := range res.Rows[1:] {
+				total += r.SQL + r.Solver
+			}
+			fmt.Printf("  %-16s total=%v (q4-q5 sql=%v solver=%v, tuples=%d)\n",
+				v.name, total, res.Rows[0].SQL, res.Rows[0].Solver, res.Rows[0].Tuples)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Command faure-rib manages the synthetic BGP RIB workloads behind
+// Table 4: generate a RIB in the textual exchange format, summarise
+// one, or compile one into a fauré c-table database file ready for
+// `faure eval`.
+//
+//	faure-rib gen -prefixes 1000 -seed 1 > rib.txt
+//	faure-rib info < rib.txt
+//	faure-rib compile < rib.txt > fwd.fdb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faure/internal/faurelog"
+	"faure/internal/rib"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo()
+	case "compile":
+		err = cmdCompile(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faure-rib:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  faure-rib gen -prefixes N [-seed S] [-paths 5] [-pool 10]   write a RIB to stdout
+  faure-rib info                                              summarise a RIB from stdin
+  faure-rib compile [-pool 10] [-seed S]                      compile stdin RIB to a database file`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	prefixes := fs.Int("prefixes", 1000, "number of prefixes")
+	seed := fs.Int64("seed", 1, "generator seed")
+	paths := fs.Int("paths", 5, "AS paths per prefix")
+	pool := fs.Int("pool", 10, "link-state variable pool size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := rib.Generate(rib.Config{Prefixes: *prefixes, Seed: *seed, PathsPerPrefix: *paths, PoolSize: *pool})
+	return r.Write(os.Stdout)
+}
+
+func cmdInfo() error {
+	r, err := rib.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	s := r.Summary()
+	fmt.Printf("prefixes: %d\npaths:    %d\navg path length: %.2f\ndistinct ASes:   %d\n",
+		s.Prefixes, s.Paths, s.AvgLen, s.ASes)
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	pool := fs.Int("pool", 10, "link-state variable pool size")
+	seed := fs.Int64("seed", 1, "guard-assignment seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := rib.Parse(os.Stdin)
+	if err != nil {
+		return err
+	}
+	r.Config = rib.Config{PoolSize: *pool, Seed: *seed, Prefixes: len(r.Entries)}
+	db := r.ForwardingDatabase()
+	_, err = os.Stdout.WriteString(faurelog.FormatDatabase(db))
+	return err
+}

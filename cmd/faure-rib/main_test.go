@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"faure/internal/rib"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	// Drain concurrently so large outputs cannot deadlock on the pipe
+	// buffer.
+	outCh := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		buf := make([]byte, 64<<10)
+		for {
+			n, err := r.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		outCh <- b.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("command failed: %v", runErr)
+	}
+	return out
+}
+
+func withStdin(t *testing.T, content string, fn func() error) error {
+	t.Helper()
+	old := os.Stdin
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdin = r
+	go func() {
+		w.WriteString(content)
+		w.Close()
+	}()
+	defer func() { os.Stdin = old }()
+	return fn()
+}
+
+func TestCmdGenAndInfo(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdGen([]string{"-prefixes", "3", "-seed", "2"}) })
+	if !strings.Contains(out, "|") {
+		t.Fatalf("gen output unexpected: %q", out)
+	}
+	// Parse what gen produced.
+	r, err := rib.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("gen output unparsable: %v", err)
+	}
+	if len(r.Entries) != 3 {
+		t.Errorf("entries = %d", len(r.Entries))
+	}
+	// info over the same text.
+	info := captureStdout(t, func() error {
+		return withStdin(t, out, cmdInfo)
+	})
+	if !strings.Contains(info, "prefixes: 3") {
+		t.Errorf("info output: %q", info)
+	}
+}
+
+func TestCmdCompile(t *testing.T) {
+	ribText := captureStdout(t, func() error { return cmdGen([]string{"-prefixes", "2", "-seed", "5"}) })
+	dbText := captureStdout(t, func() error {
+		return withStdin(t, ribText, func() error { return cmdCompile([]string{"-pool", "4", "-seed", "5"}) })
+	})
+	if !strings.Contains(dbText, "var $x in {0, 1}.") || !strings.Contains(dbText, "fwd(") {
+		t.Errorf("compile output unexpected:\n%s", dbText)
+	}
+}

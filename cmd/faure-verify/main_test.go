@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRunBuiltinVariants(t *testing.T) {
+	// Smoke: the built-in scenario must not error in any configuration
+	// (it prints; errors would os.Exit, failing the test process).
+	runBuiltin(true, true)
+	runBuiltin(true, false)
+	runBuiltin(false, true)
+	runBuiltin(false, false)
+}
+
+func TestRunFiles(t *testing.T) {
+	target := write(t, "t1.fl", `panic() :- r(Mkt, CS, p), not fw(Mkt, CS).`)
+	known := write(t, "cs.fl", `
+		panic() :- vs(x, y, p).
+		vs(x, y, p) :- r(x, y, p), not fw(x, y).
+	`)
+	update := write(t, "u.upd", `+fw(Mkt, CS).`)
+	state := write(t, "s.fdb", `r(Mkt, CS, 7000).`)
+
+	if err := runFiles(target, []string{known}, "", ""); err != nil {
+		t.Errorf("constraints only: %v", err)
+	}
+	if err := runFiles(target, []string{known}, update, ""); err != nil {
+		t.Errorf("with update: %v", err)
+	}
+	if err := runFiles(target, nil, "", state); err != nil {
+		t.Errorf("with state (violated, prints derivations): %v", err)
+	}
+	if err := runFiles(target, nil, update, state); err != nil {
+		t.Errorf("update+state: %v", err)
+	}
+}
+
+func TestRunFilesErrors(t *testing.T) {
+	target := write(t, "t.fl", `panic() :- r(x).`)
+	if err := runFiles("missing.fl", nil, "", ""); err == nil {
+		t.Errorf("missing target should error")
+	}
+	if err := runFiles(target, []string{"missing.fl"}, "", ""); err == nil {
+		t.Errorf("missing known should error")
+	}
+	if err := runFiles(target, nil, "missing.upd", ""); err == nil {
+		t.Errorf("missing update should error")
+	}
+	if err := runFiles(target, nil, "", "missing.fdb"); err == nil {
+		t.Errorf("missing state should error")
+	}
+	badProg := write(t, "bad.fl", `v(x) :- r(x).`) // no panic rule
+	if err := runFiles(badProg, nil, "", ""); err == nil {
+		t.Errorf("constraint without panic should error")
+	}
+	badUpd := write(t, "bad.upd", `lb(A).`)
+	if err := runFiles(target, nil, badUpd, ""); err == nil {
+		t.Errorf("bad update should error")
+	}
+}

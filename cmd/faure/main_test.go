@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func demoFiles(t *testing.T) (db, prog string) {
+	t.Helper()
+	db = writeFile(t, "state.fdb", `
+		var $x in {0, 1}.
+		fwd(F0, 1, 2)[$x = 1].
+		fwd(F0, 1, 3)[$x = 0].
+		fwd(F0, 2, 4).
+		fwd(F0, 3, 4).
+	`)
+	prog = writeFile(t, "query.fl", `
+		reach(f, a, b) :- fwd(f, a, b).
+		reach(f, a, c) :- fwd(f, a, b), reach(f, b, c).
+	`)
+	return db, prog
+}
+
+func TestCmdEvalVariants(t *testing.T) {
+	db, prog := demoFiles(t)
+	cases := [][]string{
+		{"-db", db, "-program", prog},
+		{"-db", db, "-program", prog, "-table", "reach", "-stats"},
+		{"-db", db, "-program", prog, "-simplify"},
+		{"-db", db, "-program", prog, "-explain", "reach"},
+		{"-db", db, "-program", prog, "-backend", "sql"},
+		{"-db", db, "-program", prog, "-no-index", "-no-absorb", "-no-eager-prune"},
+	}
+	for _, args := range cases {
+		if err := cmdEval(args); err != nil {
+			t.Errorf("cmdEval(%v): %v", args, err)
+		}
+	}
+}
+
+func TestCmdEvalErrors(t *testing.T) {
+	db, prog := demoFiles(t)
+	cases := [][]string{
+		{},
+		{"-db", db},
+		{"-db", db, "-program", prog, "-table", "nope"},
+		{"-db", db, "-program", prog, "-backend", "oracle"},
+		{"-db", "missing.fdb", "-program", prog},
+		{"-db", db, "-program", "missing.fl"},
+	}
+	for _, args := range cases {
+		if err := cmdEval(args); err == nil {
+			t.Errorf("cmdEval(%v) should fail", args)
+		}
+	}
+}
+
+func TestCmdWorlds(t *testing.T) {
+	db, _ := demoFiles(t)
+	if err := cmdWorlds([]string{"-db", db}); err != nil {
+		t.Errorf("cmdWorlds: %v", err)
+	}
+	if err := cmdWorlds([]string{"-db", db, "-limit", "1"}); err != nil {
+		t.Errorf("cmdWorlds limited: %v", err)
+	}
+	// No finite variables to enumerate.
+	empty := writeFile(t, "e.fdb", `var $p. r($p).`)
+	if err := cmdWorlds([]string{"-db", empty}); err == nil {
+		t.Errorf("cmdWorlds over unbounded-only db should fail")
+	}
+}
+
+func TestCmdCheckAndSQL(t *testing.T) {
+	db, prog := demoFiles(t)
+	if err := cmdCheck([]string{"-program", prog}); err != nil {
+		t.Errorf("cmdCheck: %v", err)
+	}
+	if err := cmdCheck([]string{"-program", writeFile(t, "bad.fl", `q(x :- r(x).`)}); err == nil {
+		t.Errorf("cmdCheck on bad program should fail")
+	}
+	if err := cmdSQL([]string{"-db", db, "-program", prog}); err != nil {
+		t.Errorf("cmdSQL: %v", err)
+	}
+	// Negation is supported by the SQL backend.
+	negProg := writeFile(t, "neg.fl", `q(a) :- fwd(f, a, b), not fwd(f, b, a).`)
+	if err := cmdSQL([]string{"-db", db, "-program", negProg}); err != nil {
+		t.Errorf("cmdSQL with negation: %v", err)
+	}
+}
+
+func TestCmdLossless(t *testing.T) {
+	db, prog := demoFiles(t)
+	if err := cmdLossless([]string{"-db", db, "-program", prog}); err != nil {
+		t.Errorf("cmdLossless: %v", err)
+	}
+	empty := writeFile(t, "e.fdb", `var $p. r($p).`)
+	if err := cmdLossless([]string{"-db", empty, "-program", prog}); err == nil {
+		t.Errorf("cmdLossless without finite vars should fail")
+	}
+}
+
+func TestCmdTopo(t *testing.T) {
+	topo := writeFile(t, "fig1.topo", `
+		protect 1 -> 2 var $x backup 3
+		static 3 -> 4
+	`)
+	if err := cmdTopo([]string{"-file", topo}); err != nil {
+		t.Errorf("cmdTopo: %v", err)
+	}
+	if err := cmdTopo([]string{"-file", topo, "-flow", "Flow9"}); err != nil {
+		t.Errorf("cmdTopo with flow: %v", err)
+	}
+	if err := cmdTopo([]string{}); err == nil {
+		t.Errorf("missing -file should error")
+	}
+	bad := writeFile(t, "bad.topo", `protect 1 -> 2`)
+	if err := cmdTopo([]string{"-file", bad}); err == nil {
+		t.Errorf("bad topology should error")
+	}
+}

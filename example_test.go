@@ -1,0 +1,110 @@
+package faure_test
+
+import (
+	"fmt"
+	"log"
+
+	"faure"
+)
+
+// The quick-start flow: one c-table models both failure worlds of a
+// protected link; reachability is computed once, loss-lessly.
+func ExampleEval() {
+	db, err := faure.ParseDatabase(`
+		var $x in {0, 1}.
+		fwd(F0, 1, 2)[$x = 1].
+		fwd(F0, 1, 3)[$x = 0].
+		fwd(F0, 2, 4).
+		fwd(F0, 3, 4).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := faure.MustParse(`
+		reach(f, a, b) :- fwd(f, a, b).
+		reach(f, a, c) :- fwd(f, a, b), reach(f, b, c).
+	`)
+	res, err := faure.Eval(prog, db, faure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := faure.NewSolver(db.Doms)
+	union := faure.FalseCond()
+	for _, tp := range res.DB.Table("reach").Tuples {
+		if tp.Values[1].Equal(faure.Int(1)) && tp.Values[2].Equal(faure.Int(4)) {
+			union = faure.Or(union, tp.Condition())
+		}
+	}
+	always, err := s.Valid(union)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("1 reaches 4 in every world:", always)
+	// Output: 1 reaches 4 in every world: true
+}
+
+// Constraint subsumption (the category (i) test): T1's violation is a
+// special case of the security policy's, so knowing C_s holds proves
+// T1 without seeing the network.
+func ExampleSubsumes() {
+	ok, err := faure.Subsumes(
+		faure.T1(),
+		[]faure.Constraint{faure.Cs()},
+		faure.EnterpriseDomains(),
+		faure.EnterpriseSchema(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("T1 subsumed by C_s:", ok)
+	// Output: T1 subsumed by C_s: true
+}
+
+// The Listing 4 rewrite: C' evaluated before the update is equivalent
+// to C evaluated after it.
+func ExampleRewriteConstraint() {
+	u := faure.ListingFourUpdate()
+	rewritten, err := faure.RewriteConstraint(faure.T2().Program, u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rewritten)
+	// Output:
+	// lb_u0(x0, x1) :- lb(x0, x1).
+	// lb_u0(R&D, GS).
+	// lb_u1(x0, x1) :- lb_u0(x0, x1), x0 != Mkt.
+	// lb_u1(x0, x1) :- lb_u0(x0, x1), x1 != CS.
+	// panic() :- r(R&D, y, 7000), not lb_u1(R&D, y).
+}
+
+// Compiling fauré-log to the SQL dialect — the paper's implementation
+// architecture, inspectable as text.
+func ExampleCompileSQL() {
+	db, err := faure.ParseDatabase(`fwd(F0, 1, 2).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog := faure.MustParse(`hop(f, a, b) :- fwd(f, a, b).`)
+	script, err := faure.CompileSQL(prog, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(script)
+	// Output:
+	// CREATE TABLE hop (c0, c1, c2);
+	// INSERT INTO hop SELECT t0.c0, t0.c1, t0.c2, AND(COND(t0)) FROM fwd t0;
+	// DELETE FROM hop WHERE UNSAT;
+}
+
+// Parsing an update and applying it to a state.
+func ExampleParseUpdate() {
+	u, err := faure.ParseUpdate(`
+		+lb('R&D', GS).
+		-lb(Mkt, CS).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(u)
+	// Output: +lb(R&D, GS) -lb(Mkt, CS)
+}

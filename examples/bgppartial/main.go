@@ -1,0 +1,113 @@
+// Partial visibility in interdomain routing (the paper's second
+// motivation): an operator fully knows their own domain but not how a
+// neighbouring domain forwards — its BGP policy is private. Instead of
+// giving up, fauré models the neighbour's unknown next hop as a
+// c-variable and still answers reachability questions, split into
+// *certain* (true in every consistent world), *possible* (true in
+// some) and *impossible*.
+//
+// Run with: go run ./examples/bgppartial
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"faure"
+)
+
+func main() {
+	// Topology: our AS 100 connects to provider AS 200. AS 200's
+	// export policy is unknown: it hands traffic for prefix D either
+	// to AS 300 or AS 400 ($exit ∈ {300, 400}), we cannot see which.
+	// AS 300 reaches the destination AS 500 directly; AS 400 reaches
+	// it only via AS 450, whose link to 500 is also uncertain
+	// ($far ∈ {450, 460}; only 450 connects onward).
+	db, err := faure.ParseDatabase(`
+		var $exit in {300, 400}.
+		var $far in {450, 460}.
+
+		% our own domain: fully known
+		fwd(D, 100, 200).
+
+		% provider AS 200: unknown exit
+		fwd(D, 200, $exit).
+
+		% what we learned from looking glasses about 300 and 400
+		fwd(D, 300, 500).
+		fwd(D, 400, $far).
+		fwd(D, 450, 500).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Partial interdomain state (unknowns $exit, $far):")
+	fmt.Print(db.Table("fwd"))
+	fmt.Println()
+
+	res, err := faure.Eval(faure.ReachabilityProgram(), db, faure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reach := res.DB.Table("reach")
+
+	// Classify every destination reachable from AS 100.
+	s := faure.NewSolver(db.Doms)
+	byDst := map[int64]*faure.Formula{}
+	for _, tp := range reach.Tuples {
+		if !tp.Values[1].Equal(faure.Int(100)) {
+			continue
+		}
+		dst := tp.Values[2]
+		if dst.IsCVar() {
+			// A c-variable destination stands for one of its domain
+			// values: expand it, conditioning each candidate on the
+			// variable taking that value.
+			for _, v := range db.Doms[dst.S].Values {
+				c := byDst[v.I]
+				if c == nil {
+					c = faure.FalseCond()
+				}
+				eq := faure.And(tp.Condition(), faure.Compare(dst, faure.OpEq, v))
+				byDst[v.I] = faure.Or(c, eq)
+			}
+			continue
+		}
+		c := byDst[dst.I]
+		if c == nil {
+			c = faure.FalseCond()
+		}
+		byDst[dst.I] = faure.Or(c, tp.Condition())
+	}
+	var dsts []int64
+	for d := range byDst {
+		dsts = append(dsts, d)
+	}
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i] < dsts[j] })
+
+	fmt.Println("Reachability from AS 100, relative to what we know:")
+	for _, d := range dsts {
+		c := byDst[d]
+		valid, err := s.Valid(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sat, err := s.Satisfiable(c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case valid:
+			fmt.Printf("  AS %d: CERTAIN (reachable whatever the hidden policies)\n", d)
+		case sat:
+			fmt.Printf("  AS %d: POSSIBLE, exactly when %v\n", d, c)
+		default:
+			fmt.Printf("  AS %d: IMPOSSIBLE\n", d)
+		}
+	}
+	fmt.Println()
+	fmt.Println("This is the \"partial approach\": the analysis stays sound and")
+	fmt.Println("complete relative to the visible information, and says exactly")
+	fmt.Println("which missing fact would settle the POSSIBLE answers.")
+}

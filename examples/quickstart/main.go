@@ -1,0 +1,72 @@
+// Quickstart: the paper's Table 2 — a c-table database PATH' holding
+// partially-unknown forwarding paths, queried with fauré-log.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faure"
+)
+
+func main() {
+	// PATH' = {Pⁱ, C}: the destination 1.2.3.4 uses an unknown path $x
+	// that is either ABC or ADEC; some unknown destination $y (other
+	// than 1.2.3.4) uses ABE; 1.2.3.6 uses ADEC unconditionally.
+	db, err := faure.ParseDatabase(`
+		var $x in {ABC, ADEC, ABE}.
+		var $y.
+
+		pi('1.2.3.4', $x)[$x = ABC || $x = ADEC].
+		pi($y, ABE)[$y != '1.2.3.4'].
+		pi('1.2.3.6', ADEC).
+
+		c(ABC, 3).
+		c(ADEC, 4).
+		c(ABE, 3).
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("The PATH' database (Table 2):")
+	fmt.Print(db)
+
+	// q2: what is the path cost to 1.2.3.4? The c-table answer carries
+	// the conditions: 3 when $x = ABC, 4 when $x = ADEC.
+	q2 := faure.MustParse(`q2(cost) :- pi('1.2.3.4', path), c(path, cost).`)
+	tbl, _, err := faure.EvalQuery(q2, db, "q2", faure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("q2: cost of the path to 1.2.3.4 (conditional on the unknown $x):")
+	fmt.Print(tbl)
+
+	// q3: implicit pattern matching — 1.2.3.5 matches the $y tuple
+	// because $y = 1.2.3.5 does not contradict $y != 1.2.3.4.
+	q3 := faure.MustParse(`q3(cost) :- pi('1.2.3.5', path), c(path, cost).`)
+	tbl3, _, err := faure.EvalQuery(q3, db, "q3", faure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("q3: cost of the path to 1.2.3.5 (via pattern matching on $y):")
+	fmt.Print(tbl3)
+
+	// The loss-lessness promise: asking whether the answer is ever 4
+	// is a solver question over the condition, no enumeration needed.
+	// Simplification reduces the accumulated conditions to the paper's
+	// display form: 3[$x = ABC], 4[$x = ADEC].
+	s := faure.NewSolver(db.Doms)
+	for _, tp := range tbl.Tuples {
+		sat, err := s.Satisfiable(tp.Condition())
+		if err != nil {
+			log.Fatal(err)
+		}
+		simple, err := faure.SimplifyCondition(s, tp.Condition())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("answer %v possible: %v (exactly when %v)\n", tp.Values[0], sat, simple)
+	}
+}

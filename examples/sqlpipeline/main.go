@@ -1,0 +1,51 @@
+// The paper's §6 implementation architecture, made visible: fauré-log
+// is executed by rewriting it into SQL over condition-carrying
+// relations — (1) generate data parts relationally, (2) attach
+// conditions, (3) let the solver delete contradictions. This example
+// compiles Listing 2's reachability analysis to the SQL dialect,
+// prints the script, runs it, and cross-checks against the native
+// engine.
+//
+// Run with: go run ./examples/sqlpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"faure"
+)
+
+func main() {
+	// Figure 1's forwarding c-table as the input state.
+	db := faure.Figure1().ForwardingTable("f0")
+	prog := faure.MustParse(`
+		reach(f, a, b) :- fwd(f, a, b).
+		reach(f, a, c) :- fwd(f, a, b), reach(f, b, c).
+		cut(f, a, b) :- reach(f, a, b), $x+$y+$z = 1.
+	`)
+
+	script, err := faure.CompileSQL(prog, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Compiled SQL script (what would reach the database engine):")
+	fmt.Println(script)
+
+	out, stats, err := faure.EvalSQL(prog, db, faure.SQLOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SQL backend: %d tuples inserted, %d contradictions deleted, %d loop passes\n",
+		stats.Inserted, stats.Deleted, stats.Iterations)
+	fmt.Printf("  sql phase    %v\n  solver phase %v\n\n", stats.SQLTime, stats.SolverTime)
+
+	native, err := faure.Eval(prog, db, faure.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Native engine derived %d reach tuples; SQL backend %d.\n",
+		native.DB.Table("reach").Len(), out.Table("reach").Len())
+	fmt.Println("(Counts can differ — the native engine absorbs implied duplicates —")
+	fmt.Println("but per-world answers agree; the test suite checks equivalence.)")
+}

@@ -1,0 +1,184 @@
+package faure_test
+
+import (
+	"strings"
+	"testing"
+
+	"faure"
+)
+
+// TestPublicAPIQuickstart exercises the documented quick-start flow.
+func TestPublicAPIQuickstart(t *testing.T) {
+	db, err := faure.ParseDatabase(`
+		var $x in {0, 1}.
+		fwd(F0, 1, 2)[$x = 1].
+		fwd(F0, 1, 3)[$x = 0].
+		fwd(F0, 2, 4).
+		fwd(F0, 3, 4).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := faure.Parse(`
+		reach(f, a, b) :- fwd(f, a, b).
+		reach(f, a, c) :- fwd(f, a, b), reach(f, b, c).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := faure.Eval(prog, db, faure.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := res.DB.Table("reach")
+	// 1 always reaches 4 (via 2 or 3).
+	s := faure.NewSolver(db.Doms)
+	union := faure.FalseCond()
+	for _, tp := range reach.Tuples {
+		if tp.Values[1].Equal(faure.Int(1)) && tp.Values[2].Equal(faure.Int(4)) {
+			union = faure.Or(union, tp.Condition())
+		}
+	}
+	valid, err := s.Valid(union)
+	if err != nil || !valid {
+		t.Errorf("1 should always reach 4: %v (%v)", union, err)
+	}
+}
+
+// TestRunTable4Smoke checks the harness produces all four rows with
+// the paper's qualitative shape: q7 ≪ q8 < q6 ≈ q4-q5 in tuples.
+func TestRunTable4Smoke(t *testing.T) {
+	res, err := faure.RunTable4(faure.Table4Config{Prefixes: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(res.Rows))
+	}
+	byQ := map[string]faure.Table4Row{}
+	for _, r := range res.Rows {
+		byQ[r.Query] = r
+		if r.Tuples == 0 {
+			t.Errorf("query %s produced no tuples", r.Query)
+		}
+	}
+	if !(byQ["q7"].Tuples < byQ["q8"].Tuples && byQ["q8"].Tuples < byQ["q6"].Tuples) {
+		t.Errorf("tuple shape should be q7 < q8 < q6: %v", byQ)
+	}
+	if byQ["q6"].Tuples > byQ["q4-q5"].Tuples {
+		t.Errorf("q6 cannot produce more tuples than reach: %v", byQ)
+	}
+	out := faure.FormatTable4([]*faure.Table4Result{res})
+	for _, frag := range []string{"#prefix", "q4-q5", "q6", "q7", "q8", "100"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("formatted table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+// TestTable4Deterministic: same seed, same tuple counts.
+func TestTable4Deterministic(t *testing.T) {
+	a, err := faure.RunTable4(faure.Table4Config{Prefixes: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := faure.RunTable4(faure.Table4Config{Prefixes: 60, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].Tuples != b.Rows[i].Tuples {
+			t.Errorf("row %s: %d vs %d tuples", a.Rows[i].Query, a.Rows[i].Tuples, b.Rows[i].Tuples)
+		}
+	}
+}
+
+// TestTable4AblationsAgree: every ablation option set produces the
+// same satisfiable tuple counts for q7 (the smallest, fully checkable
+// output).
+func TestTable4AblationsAgree(t *testing.T) {
+	var base int
+	for i, opts := range []faure.Options{
+		{},
+		{NoAbsorb: true},
+		{NoIndex: true},
+		{NoSolverCache: true},
+	} {
+		res, err := faure.RunTable4(faure.Table4Config{Prefixes: 40, Seed: 3, Options: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q7 := res.Rows[2].Tuples
+		if i == 0 {
+			base = q7
+			continue
+		}
+		if q7 != base {
+			t.Errorf("option set %d: q7 tuples %d != baseline %d", i, q7, base)
+		}
+	}
+}
+
+// TestEnterpriseEndToEnd drives the §5 scenario through the public
+// API, mirroring cmd/faure-verify.
+func TestEnterpriseEndToEnd(t *testing.T) {
+	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema()}
+	known := []faure.Constraint{faure.Clb(), faure.Cs()}
+	u := faure.ListingFourUpdate()
+	db := faure.EnterpriseState(false)
+
+	rep, level, err := v.Ladder(faure.T1(), known, &u, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != faure.Holds || level != "category-i" {
+		t.Errorf("T1: %v at %s", rep.Verdict, level)
+	}
+	rep, level, err = v.Ladder(faure.T2(), known, &u, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != faure.Holds || level != "category-ii" {
+		t.Errorf("T2: %v at %s", rep.Verdict, level)
+	}
+}
+
+// TestSubsumesFacade checks the package-level Subsumes helper.
+func TestSubsumesFacade(t *testing.T) {
+	ok, err := faure.Subsumes(faure.T1(), []faure.Constraint{faure.Cs()}, faure.EnterpriseDomains(), faure.EnterpriseSchema())
+	if err != nil || !ok {
+		t.Errorf("T1 should be subsumed by C_s alone (%v, %v)", ok, err)
+	}
+}
+
+// TestApplyAndRewriteFacade round-trips an update through both paths.
+func TestApplyAndRewriteFacade(t *testing.T) {
+	db := faure.EnterpriseState(false)
+	u := faure.ListingFourUpdate()
+	post, err := faure.ApplyUpdate(db, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post.Table("lb").Len() != db.Table("lb").Len() {
+		t.Logf("lb: %d -> %d rows", db.Table("lb").Len(), post.Table("lb").Len())
+	}
+	rew, err := faure.RewriteConstraint(faure.T2().Program, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rew.Rules) <= len(faure.T2().Program.Rules) {
+		t.Errorf("rewrite should add chain rules")
+	}
+}
+
+// TestGenerateRIBFacade checks the workload generator via the façade.
+func TestGenerateRIBFacade(t *testing.T) {
+	r := faure.GenerateRIB(faure.RIBConfig{Prefixes: 10, Seed: 2})
+	if len(r.Entries) != 10 {
+		t.Errorf("entries = %d", len(r.Entries))
+	}
+	db := r.ForwardingDatabase()
+	if db.Table("fwd") == nil || db.Table("fwd").Len() == 0 {
+		t.Errorf("forwarding database empty")
+	}
+}

@@ -1,0 +1,3 @@
+module faure
+
+go 1.22

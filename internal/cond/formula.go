@@ -1,0 +1,376 @@
+package cond
+
+import (
+	"sort"
+	"strings"
+)
+
+// FKind discriminates the variants of a Formula node.
+type FKind uint8
+
+const (
+	// FTrue is the empty (always satisfied) condition.
+	FTrue FKind = iota
+	// FFalse is the contradictory condition.
+	FFalse
+	// FAtom wraps a single comparison Atom.
+	FAtom
+	// FAnd is an n-ary conjunction.
+	FAnd
+	// FOr is an n-ary disjunction.
+	FOr
+	// FNot is a negation.
+	FNot
+)
+
+// Formula is an immutable boolean formula over comparison atoms. Build
+// formulas only through the constructors (True, False, AtomF, And, Or,
+// Not); they flatten, deduplicate and sort sub-formulas so that
+// logically identical spellings share a canonical Key, which both the
+// solver cache and fixpoint-termination dedup rely on.
+type Formula struct {
+	Kind FKind
+	Atom Atom       // valid when Kind == FAtom
+	Sub  []*Formula // children for FAnd/FOr (>=2), FNot (==1)
+	key  string     // canonical key, computed at construction
+}
+
+var (
+	trueF  = &Formula{Kind: FTrue, key: "T"}
+	falseF = &Formula{Kind: FFalse, key: "F"}
+)
+
+// True returns the always-satisfied condition.
+func True() *Formula { return trueF }
+
+// False returns the contradictory condition.
+func False() *Formula { return falseF }
+
+// IsTrue reports whether f is the literal true condition.
+func (f *Formula) IsTrue() bool { return f.Kind == FTrue }
+
+// IsFalse reports whether f is the literal false condition.
+func (f *Formula) IsFalse() bool { return f.Kind == FFalse }
+
+// AtomF wraps an atom as a formula, evaluating it immediately when it
+// is ground (so e.g. 3 = 3 collapses to True).
+func AtomF(a Atom) *Formula {
+	a = foldSum(a).canonical()
+	if a.Ground() {
+		if v, err := a.EvalGround(); err == nil {
+			if v {
+				return trueF
+			}
+			return falseF
+		}
+	}
+	// A trivially-true reflexive comparison on a c-variable.
+	if len(a.Sum) == 1 && a.Sum[0].Equal(a.RHS) {
+		switch a.Op {
+		case Eq, Le, Ge:
+			return trueF
+		case Ne, Lt, Gt:
+			return falseF
+		}
+	}
+	return &Formula{Kind: FAtom, Atom: a, key: "a:" + a.Key()}
+}
+
+// foldSum moves integer-constant summands of a multi-term sum into the
+// right-hand side, so that x̄+1+ȳ = 2 becomes x̄+ȳ = 1. Folding only
+// applies when the right-hand side is an integer constant.
+func foldSum(a Atom) Atom {
+	if len(a.Sum) < 2 || !a.RHS.IsInt() {
+		return a
+	}
+	var rest []Term
+	var acc int64
+	for _, t := range a.Sum {
+		if t.IsInt() {
+			acc += t.I
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	if acc == 0 {
+		return a
+	}
+	if len(rest) == 0 {
+		rest = []Term{Int(acc)}
+		acc = 0
+	}
+	return Atom{Sum: rest, Op: a.Op, RHS: Int(a.RHS.I - acc)}
+}
+
+// Compare builds the atom l op r as a formula.
+func Compare(l Term, op Op, r Term) *Formula { return AtomF(NewAtom(l, op, r)) }
+
+// And returns the canonicalised conjunction of fs: nested conjunctions
+// are flattened, True dropped, duplicates removed, and the result
+// collapses to False when any child is False or two children are
+// directly complementary atoms.
+func And(fs ...*Formula) *Formula { return combine(FAnd, fs) }
+
+// Or returns the canonicalised disjunction of fs, dually to And.
+func Or(fs ...*Formula) *Formula { return combine(FOr, fs) }
+
+func combine(kind FKind, fs []*Formula) *Formula {
+	identity, absorber := trueF, falseF
+	if kind == FOr {
+		identity, absorber = falseF, trueF
+	}
+	flat := make([]*Formula, 0, len(fs))
+	seen := make(map[string]bool, len(fs))
+	var add func(f *Formula) bool
+	add = func(f *Formula) bool {
+		switch {
+		case f == nil || f.Kind == identity.Kind:
+			return true
+		case f.Kind == absorber.Kind:
+			return false
+		case f.Kind == kind:
+			for _, s := range f.Sub {
+				if !add(s) {
+					return false
+				}
+			}
+			return true
+		}
+		if seen[f.key] {
+			return true
+		}
+		seen[f.key] = true
+		flat = append(flat, f)
+		return true
+	}
+	for _, f := range fs {
+		if !add(f) {
+			return absorber
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return identity
+	case 1:
+		return flat[0]
+	}
+	sort.Slice(flat, func(i, j int) bool { return flat[i].key < flat[j].key })
+	// Detect directly complementary atom pairs: a ∧ ¬a = false,
+	// a ∨ ¬a = true. Only syntactic complements are caught here; the
+	// solver handles the general case.
+	for _, f := range flat {
+		if f.Kind == FAtom && seen["a:"+f.Atom.Negate().canonical().Key()] {
+			return absorber
+		}
+		if f.Kind == FNot && seen[f.Sub[0].key] {
+			return absorber
+		}
+	}
+	var b strings.Builder
+	if kind == FAnd {
+		b.WriteString("&(")
+	} else {
+		b.WriteString("|(")
+	}
+	for i, f := range flat {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(f.key)
+	}
+	b.WriteByte(')')
+	return &Formula{Kind: kind, Sub: flat, key: b.String()}
+}
+
+// Not returns the negation of f. Negations of atoms are rewritten to
+// the complementary atom; double negations cancel.
+func Not(f *Formula) *Formula {
+	switch f.Kind {
+	case FTrue:
+		return falseF
+	case FFalse:
+		return trueF
+	case FAtom:
+		return AtomF(f.Atom.Negate())
+	case FNot:
+		return f.Sub[0]
+	}
+	return &Formula{Kind: FNot, Sub: []*Formula{f}, key: "!(" + f.key + ")"}
+}
+
+// Key returns the canonical key of the formula. Formulas with equal
+// keys are syntactically identical after canonicalisation.
+func (f *Formula) Key() string { return f.key }
+
+// Equal reports canonical syntactic equality.
+func (f *Formula) Equal(g *Formula) bool { return f.key == g.key }
+
+// String renders the formula in the concrete syntax.
+func (f *Formula) String() string {
+	switch f.Kind {
+	case FTrue:
+		return "true"
+	case FFalse:
+		return "false"
+	case FAtom:
+		return f.Atom.String()
+	case FNot:
+		return "!(" + f.Sub[0].String() + ")"
+	}
+	sep := " && "
+	if f.Kind == FOr {
+		sep = " || "
+	}
+	parts := make([]string, len(f.Sub))
+	for i, s := range f.Sub {
+		if s.Kind == FAnd || s.Kind == FOr {
+			parts[i] = "(" + s.String() + ")"
+		} else {
+			parts[i] = s.String()
+		}
+	}
+	return strings.Join(parts, sep)
+}
+
+// CVars returns the sorted, duplicate-free names of the c-variables
+// occurring in f.
+func (f *Formula) CVars() []string {
+	set := map[string]bool{}
+	f.walkAtoms(func(a Atom) {
+		for _, n := range a.CVars(nil) {
+			set[n] = true
+		}
+	})
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Atoms returns every distinct atom occurring in f, in key order.
+func (f *Formula) Atoms() []Atom {
+	seen := map[string]bool{}
+	var out []Atom
+	f.walkAtoms(func(a Atom) {
+		k := a.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, a)
+		}
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+func (f *Formula) walkAtoms(fn func(Atom)) {
+	switch f.Kind {
+	case FAtom:
+		fn(f.Atom)
+	case FAnd, FOr, FNot:
+		for _, s := range f.Sub {
+			s.walkAtoms(fn)
+		}
+	}
+}
+
+// Subst substitutes c-variables in f according to m, re-simplifying as
+// atoms become ground.
+func (f *Formula) Subst(m map[string]Term) *Formula {
+	if len(m) == 0 {
+		return f
+	}
+	switch f.Kind {
+	case FTrue, FFalse:
+		return f
+	case FAtom:
+		return AtomF(f.Atom.Subst(m))
+	case FNot:
+		return Not(f.Sub[0].Subst(m))
+	}
+	sub := make([]*Formula, len(f.Sub))
+	for i, s := range f.Sub {
+		sub[i] = s.Subst(m)
+	}
+	if f.Kind == FAnd {
+		return And(sub...)
+	}
+	return Or(sub...)
+}
+
+// AssignAtom replaces every occurrence of the atom with key atomKey by
+// the constant val, simplifying the result. The solver uses this for
+// case splitting; note that it is purely syntactic (the complementary
+// atom, if also present, is not touched).
+func (f *Formula) AssignAtom(atomKey string, val bool) *Formula {
+	switch f.Kind {
+	case FTrue, FFalse:
+		return f
+	case FAtom:
+		if "a:"+atomKey == f.key {
+			if val {
+				return trueF
+			}
+			return falseF
+		}
+		return f
+	case FNot:
+		return Not(f.Sub[0].AssignAtom(atomKey, val))
+	}
+	sub := make([]*Formula, len(f.Sub))
+	for i, s := range f.Sub {
+		sub[i] = s.AssignAtom(atomKey, val)
+	}
+	if f.Kind == FAnd {
+		return And(sub...)
+	}
+	return Or(sub...)
+}
+
+// EvalGround evaluates a formula with no c-variables (or after Subst
+// with a total assignment). It returns an error for type mismatches.
+func (f *Formula) EvalGround() (bool, error) {
+	switch f.Kind {
+	case FTrue:
+		return true, nil
+	case FFalse:
+		return false, nil
+	case FAtom:
+		return f.Atom.EvalGround()
+	case FNot:
+		v, err := f.Sub[0].EvalGround()
+		return !v, err
+	case FAnd:
+		for _, s := range f.Sub {
+			v, err := s.EvalGround()
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	default: // FOr
+		for _, s := range f.Sub {
+			v, err := s.EvalGround()
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+}
+
+// Conjuncts returns the top-level conjuncts of f (f itself when it is
+// not a conjunction).
+func (f *Formula) Conjuncts() []*Formula {
+	if f.Kind == FAnd {
+		return f.Sub
+	}
+	if f.Kind == FTrue {
+		return nil
+	}
+	return []*Formula{f}
+}

@@ -1,0 +1,224 @@
+package cond
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randGroundable builds a random formula over two {0,1}-valued
+// variables a, b; substituting both always grounds it.
+func randGroundable(r *rand.Rand, depth int) *Formula {
+	v := func() Term {
+		if r.Intn(2) == 0 {
+			return CVar("a")
+		}
+		return CVar("b")
+	}
+	if depth == 0 || r.Intn(3) == 0 {
+		return Compare(v(), Op(r.Intn(2)), Int(int64(r.Intn(2)))) // Eq or Ne
+	}
+	switch r.Intn(3) {
+	case 0:
+		return And(randGroundable(r, depth-1), randGroundable(r, depth-1))
+	case 1:
+		return Or(randGroundable(r, depth-1), randGroundable(r, depth-1))
+	default:
+		return Not(randGroundable(r, depth-1))
+	}
+}
+
+func evalAt(t *testing.T, f *Formula, a, b int64) bool {
+	t.Helper()
+	g := f.Subst(map[string]Term{"a": Int(a), "b": Int(b)})
+	if !g.IsTrue() && !g.IsFalse() {
+		t.Fatalf("formula %v not ground after substitution: %v", f, g)
+	}
+	return g.IsTrue()
+}
+
+// TestDeMorganSemantics: ¬(f ∧ g) ≡ ¬f ∨ ¬g on all assignments.
+func TestDeMorganSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randGroundable(r, 2)
+		g := randGroundable(r, 2)
+		lhs := Not(And(f, g))
+		rhs := Or(Not(f), Not(g))
+		for _, a := range []int64{0, 1} {
+			for _, b := range []int64{0, 1} {
+				if evalAt(t, lhs, a, b) != evalAt(t, rhs, a, b) {
+					t.Errorf("seed %d: De Morgan violated at a=%d b=%d for %v", seed, a, b, f)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNotInvolutionSemantics: ¬¬f ≡ f on all assignments.
+func TestNotInvolutionSemantics(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randGroundable(r, 3)
+		nn := Not(Not(f))
+		for _, a := range []int64{0, 1} {
+			for _, b := range []int64{0, 1} {
+				if evalAt(t, f, a, b) != evalAt(t, nn, a, b) {
+					t.Errorf("seed %d: double negation changed semantics", seed)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestKeyCanonicalUnderShuffle: the canonical key is insensitive to
+// argument order of And/Or.
+func TestKeyCanonicalUnderShuffle(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		parts := make([]*Formula, 3+r.Intn(3))
+		for i := range parts {
+			parts[i] = randGroundable(r, 1)
+		}
+		shuffled := make([]*Formula, len(parts))
+		copy(shuffled, parts)
+		r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if And(parts...).Key() != And(shuffled...).Key() {
+			t.Errorf("seed %d: And key depends on order", seed)
+			return false
+		}
+		if Or(parts...).Key() != Or(shuffled...).Key() {
+			t.Errorf("seed %d: Or key depends on order", seed)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubstComposition: substituting a then b equals substituting both
+// at once (disjoint variables).
+func TestSubstComposition(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randGroundable(r, 3)
+		a, b := Int(int64(r.Intn(2))), Int(int64(r.Intn(2)))
+		step := f.Subst(map[string]Term{"a": a}).Subst(map[string]Term{"b": b})
+		both := f.Subst(map[string]Term{"a": a, "b": b})
+		if step.Key() != both.Key() {
+			t.Errorf("seed %d: substitution composition differs: %v vs %v", seed, step, both)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSimplificationPreservesSemantics: the constructors' rewrites
+// (flattening, dedup, complement elimination, ground folding) never
+// change the truth table.
+func TestSimplificationPreservesSemantics(t *testing.T) {
+	// Build the same formula twice: once through constructors, once
+	// "raw" by evaluating the intended boolean structure directly.
+	type node struct {
+		op   int // 0 atom, 1 and, 2 or, 3 not
+		atom Atom
+		kids []*node
+	}
+	var gen func(r *rand.Rand, depth int) *node
+	gen = func(r *rand.Rand, depth int) *node {
+		if depth == 0 || r.Intn(3) == 0 {
+			v := CVar([]string{"a", "b"}[r.Intn(2)])
+			return &node{op: 0, atom: NewAtom(v, Op(r.Intn(2)), Int(int64(r.Intn(2))))}
+		}
+		n := &node{op: 1 + r.Intn(3)}
+		k := 1
+		if n.op != 3 {
+			k = 2 + r.Intn(2)
+		}
+		for i := 0; i < k; i++ {
+			n.kids = append(n.kids, gen(r, depth-1))
+		}
+		return n
+	}
+	var build func(n *node) *Formula
+	build = func(n *node) *Formula {
+		switch n.op {
+		case 0:
+			return AtomF(n.atom)
+		case 1:
+			fs := make([]*Formula, len(n.kids))
+			for i, k := range n.kids {
+				fs[i] = build(k)
+			}
+			return And(fs...)
+		case 2:
+			fs := make([]*Formula, len(n.kids))
+			for i, k := range n.kids {
+				fs[i] = build(k)
+			}
+			return Or(fs...)
+		default:
+			return Not(build(n.kids[0]))
+		}
+	}
+	var truth func(n *node, a, b int64) bool
+	truth = func(n *node, a, b int64) bool {
+		switch n.op {
+		case 0:
+			g := n.atom.Subst(map[string]Term{"a": Int(a), "b": Int(b)})
+			v, err := g.EvalGround()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		case 1:
+			for _, k := range n.kids {
+				if !truth(k, a, b) {
+					return false
+				}
+			}
+			return true
+		case 2:
+			for _, k := range n.kids {
+				if truth(k, a, b) {
+					return true
+				}
+			}
+			return false
+		default:
+			return !truth(n.kids[0], a, b)
+		}
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := gen(r, 3)
+		f := build(n)
+		for _, a := range []int64{0, 1} {
+			for _, b := range []int64{0, 1} {
+				if evalAt(t, f, a, b) != truth(n, a, b) {
+					t.Errorf("seed %d: simplification changed semantics at a=%d b=%d", seed, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

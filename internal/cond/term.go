@@ -1,0 +1,408 @@
+// Package cond implements the condition language of fauré: boolean
+// formulas over comparison atoms whose terms are constants and
+// c-variables (the unknowns of a conditional table).
+//
+// A condition is attached to every c-table tuple and states in which
+// possible worlds the tuple is present. The language covers everything
+// the paper's examples use: (dis)equalities over string and integer
+// constants and c-variables (x̄ = [ABC], ȳ ≠ 1.2.3.4), order comparisons
+// (p̄ < 7000), and linear sums of c-variables (x̄+ȳ+z̄ = 1), combined with
+// ∧, ∨ and ¬.
+package cond
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind discriminates the variants of a Term.
+type Kind uint8
+
+const (
+	// KStr is a string constant, e.g. Mkt, [ABC], 1.2.3.4.
+	KStr Kind = iota
+	// KInt is an integer constant, e.g. 0, 1, 7000.
+	KInt
+	// KCVar is a c-variable: a named unknown of the c-domain,
+	// written $name in the concrete syntax (x̄ in the paper).
+	KCVar
+)
+
+// Term is a symbol of the c-domain dom^C: a constant (string or
+// integer) or a c-variable. Terms are small values and are passed by
+// value throughout.
+type Term struct {
+	Kind Kind
+	S    string // string constant or c-variable name
+	I    int64  // integer constant
+}
+
+// Str returns a string-constant term.
+func Str(s string) Term { return Term{Kind: KStr, S: s} }
+
+// Int returns an integer-constant term.
+func Int(i int64) Term { return Term{Kind: KInt, I: i} }
+
+// CVar returns a c-variable term with the given name.
+func CVar(name string) Term { return Term{Kind: KCVar, S: name} }
+
+// IsConst reports whether t is a constant (string or integer).
+func (t Term) IsConst() bool { return t.Kind != KCVar }
+
+// IsCVar reports whether t is a c-variable.
+func (t Term) IsCVar() bool { return t.Kind == KCVar }
+
+// IsInt reports whether t is an integer constant.
+func (t Term) IsInt() bool { return t.Kind == KInt }
+
+// Equal reports whether two terms are identical symbols. Note that two
+// distinct c-variables are not Equal even though some valuation may
+// assign them the same value.
+func (t Term) Equal(u Term) bool { return t == u }
+
+// kindRank orders term kinds for canonicalisation: c-variables first,
+// then strings, then integers, so that canonical equalities read
+// "$x = Mkt" as in the paper.
+func kindRank(k Kind) int {
+	switch k {
+	case KCVar:
+		return 0
+	case KStr:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Compare orders terms for canonicalisation: c-variables first (by
+// name), then string constants, then integers (by value).
+func (t Term) Compare(u Term) int {
+	if t.Kind != u.Kind {
+		return kindRank(t.Kind) - kindRank(u.Kind)
+	}
+	switch t.Kind {
+	case KInt:
+		switch {
+		case t.I < u.I:
+			return -1
+		case t.I > u.I:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(t.S, u.S)
+	}
+}
+
+// String renders the term in the concrete syntax: integers bare,
+// c-variables with a leading '$', and strings bare when they re-lex as
+// constants (uppercase-starting identifiers like Mkt, dotted literals
+// like 1.2.3.4) or quoted otherwise, so that printed programs and
+// databases always parse back to the same terms.
+func (t Term) String() string {
+	switch t.Kind {
+	case KInt:
+		return strconv.FormatInt(t.I, 10)
+	case KCVar:
+		return "$" + t.S
+	default:
+		if bareSafe(t.S) {
+			return t.S
+		}
+		s := strings.ReplaceAll(t.S, `\`, `\\`)
+		s = strings.ReplaceAll(s, `'`, `\'`)
+		return "'" + s + "'"
+	}
+}
+
+// bareSafe reports whether a string constant lexes back as the same
+// constant when written without quotes: either a constant-style
+// identifier (not starting with a lowercase letter or underscore) or a
+// dotted numeric literal.
+func bareSafe(s string) bool {
+	if s == "" {
+		return false
+	}
+	if isDottedLiteral(s) {
+		return true
+	}
+	c := rune(s[0])
+	if !(c >= 'A' && c <= 'Z') {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '&':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// isDottedLiteral matches the lexer's IP-style rule: digits separated
+// by single dots, at least one dot, starting and ending with a digit.
+func isDottedLiteral(s string) bool {
+	dots := 0
+	prevDot := true // disallow leading dot
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			prevDot = false
+		case r == '.':
+			if prevDot {
+				return false
+			}
+			dots++
+			prevDot = true
+		default:
+			return false
+		}
+	}
+	return dots > 0 && !prevDot
+}
+
+// Op is a comparison operator of an Atom.
+type Op uint8
+
+// Comparison operators supported by the condition language.
+const (
+	Eq Op = iota // =
+	Ne           // !=
+	Lt           // <
+	Le           // <=
+	Gt           // >
+	Ge           // >=
+)
+
+// Negate returns the complementary operator: ¬(a = b) is a != b, and
+// so on.
+func (o Op) Negate() Op {
+	switch o {
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	default:
+		return Lt
+	}
+}
+
+// String renders the operator.
+func (o Op) String() string {
+	switch o {
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	default:
+		return ">="
+	}
+}
+
+// Atom is a single comparison: Sum op RHS, where Sum is a sum of one
+// or more terms. A one-element Sum is an ordinary comparison between
+// two c-domain symbols (x̄ = [ABC]); a longer Sum expresses the paper's
+// linear failure-pattern conditions (x̄+ȳ+z̄ = 1). Sums of more than one
+// term require every summand and the RHS to be numeric.
+type Atom struct {
+	Sum []Term
+	Op  Op
+	RHS Term
+}
+
+// NewAtom builds a canonicalised single-comparison atom.
+func NewAtom(l Term, op Op, r Term) Atom {
+	a := Atom{Sum: []Term{l}, Op: op, RHS: r}
+	return a.canonical()
+}
+
+// NewSumAtom builds a canonicalised linear-sum atom.
+func NewSumAtom(sum []Term, op Op, r Term) Atom {
+	s := make([]Term, len(sum))
+	copy(s, sum)
+	a := Atom{Sum: s, Op: op, RHS: r}
+	return a.canonical()
+}
+
+// canonical sorts the summands and, for symmetric operators on a
+// single-term Sum, orders the two sides deterministically so that
+// syntactically different spellings of the same atom share one key.
+func (a Atom) canonical() Atom {
+	if len(a.Sum) > 1 {
+		// Sort summands; integer constants could be folded but are
+		// left as-is (the parser already folds them).
+		s := a.Sum
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j].Compare(s[j-1]) < 0; j-- {
+				s[j], s[j-1] = s[j-1], s[j]
+			}
+		}
+		return a
+	}
+	if a.Op == Eq || a.Op == Ne {
+		if a.Sum[0].Compare(a.RHS) > 0 {
+			a.Sum[0], a.RHS = a.RHS, a.Sum[0]
+		}
+	}
+	return a
+}
+
+// Negate returns the atom's complement.
+func (a Atom) Negate() Atom {
+	return Atom{Sum: a.Sum, Op: a.Op.Negate(), RHS: a.RHS}
+}
+
+// Key returns a canonical string identifying the atom; equal keys mean
+// syntactically identical (canonicalised) atoms.
+func (a Atom) Key() string {
+	var b strings.Builder
+	for i, t := range a.Sum {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		writeTermKey(&b, t)
+	}
+	b.WriteString(a.Op.String())
+	writeTermKey(&b, a.RHS)
+	return b.String()
+}
+
+func writeTermKey(b *strings.Builder, t Term) {
+	switch t.Kind {
+	case KInt:
+		b.WriteByte('i')
+		b.WriteString(strconv.FormatInt(t.I, 10))
+	case KStr:
+		b.WriteByte('s')
+		b.WriteString(strconv.Quote(t.S))
+	default:
+		b.WriteByte('$')
+		b.WriteString(t.S)
+	}
+}
+
+// String renders the atom in the concrete syntax.
+func (a Atom) String() string {
+	var b strings.Builder
+	for i, t := range a.Sum {
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteString(" ")
+	b.WriteString(a.Op.String())
+	b.WriteString(" ")
+	b.WriteString(a.RHS.String())
+	return b.String()
+}
+
+// CVars appends the names of the c-variables occurring in the atom to
+// dst and returns it.
+func (a Atom) CVars(dst []string) []string {
+	for _, t := range a.Sum {
+		if t.IsCVar() {
+			dst = append(dst, t.S)
+		}
+	}
+	if a.RHS.IsCVar() {
+		dst = append(dst, a.RHS.S)
+	}
+	return dst
+}
+
+// Subst replaces c-variables in the atom using m and returns the
+// resulting canonicalised atom. C-variables absent from m are kept.
+func (a Atom) Subst(m map[string]Term) Atom {
+	sum := make([]Term, len(a.Sum))
+	for i, t := range a.Sum {
+		sum[i] = substTerm(t, m)
+	}
+	return Atom{Sum: sum, Op: a.Op, RHS: substTerm(a.RHS, m)}.canonical()
+}
+
+func substTerm(t Term, m map[string]Term) Term {
+	if t.IsCVar() {
+		if v, ok := m[t.S]; ok {
+			return v
+		}
+	}
+	return t
+}
+
+// Ground reports whether the atom contains no c-variables.
+func (a Atom) Ground() bool {
+	for _, t := range a.Sum {
+		if t.IsCVar() {
+			return false
+		}
+	}
+	return !a.RHS.IsCVar()
+}
+
+// EvalGround evaluates a ground atom. It returns an error when the
+// atom mixes incomparable types (a string compared by order, or a sum
+// with non-integer members).
+func (a Atom) EvalGround() (bool, error) {
+	if len(a.Sum) > 1 {
+		var sum int64
+		for _, t := range a.Sum {
+			if !t.IsInt() {
+				return false, fmt.Errorf("cond: non-integer term %v in sum %v", t, a)
+			}
+			sum += t.I
+		}
+		if !a.RHS.IsInt() {
+			return false, fmt.Errorf("cond: non-integer right side in %v", a)
+		}
+		return compareInts(sum, a.Op, a.RHS.I), nil
+	}
+	l, r := a.Sum[0], a.RHS
+	switch a.Op {
+	case Eq:
+		return l.Equal(r), nil
+	case Ne:
+		return !l.Equal(r), nil
+	}
+	if l.IsInt() && r.IsInt() {
+		return compareInts(l.I, a.Op, r.I), nil
+	}
+	if l.Kind == KStr && r.Kind == KStr {
+		// Order over strings is lexicographic; the paper only orders
+		// numbers, but lexicographic order keeps the language total.
+		c := strings.Compare(l.S, r.S)
+		return compareInts(int64(c), a.Op, 0), nil
+	}
+	return false, fmt.Errorf("cond: incomparable terms in %v", a)
+}
+
+func compareInts(l int64, op Op, r int64) bool {
+	switch op {
+	case Eq:
+		return l == r
+	case Ne:
+		return l != r
+	case Lt:
+		return l < r
+	case Le:
+		return l <= r
+	case Gt:
+		return l > r
+	default:
+		return l >= r
+	}
+}

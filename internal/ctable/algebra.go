@@ -1,0 +1,160 @@
+package ctable
+
+import (
+	"fmt"
+
+	"faure/internal/cond"
+)
+
+// This file implements the extended relational algebra over c-tables
+// described in the paper's §3 (after Imieliński–Lipski): each operator
+// manipulates both the data part and the condition of every tuple, so
+// that the algebra is loss-less — evaluating an algebra expression on
+// a c-table is equivalent to evaluating the plain relational operator
+// on every possible world. The paper uses this algebra as the baseline
+// ("convenient for ad-hoc data retrieval") that fauré-log replaces for
+// program analysis; tests check the two agree on single-rule queries.
+//
+// Relational difference is deliberately absent: c-tables are not
+// closed under it in this basic form (the classical limitation), which
+// is exactly why fauré-log's "not derivable" negation lives on the
+// datalog side.
+
+// Operand is one side of a selection predicate: a column of the
+// operand table or a constant of the c-domain.
+type Operand struct {
+	Col   int       // column index; -1 for a constant
+	Const cond.Term // used when Col == -1
+}
+
+// Column references the i-th attribute.
+func Column(i int) Operand { return Operand{Col: i} }
+
+// Constant embeds a c-domain symbol.
+func Constant(t cond.Term) Operand { return Operand{Col: -1, Const: t} }
+
+func (o Operand) resolve(tp Tuple) (cond.Term, error) {
+	if o.Col < 0 {
+		return o.Const, nil
+	}
+	if o.Col >= len(tp.Values) {
+		return cond.Term{}, fmt.Errorf("ctable: column %d out of range (arity %d)", o.Col, len(tp.Values))
+	}
+	return tp.Values[o.Col], nil
+}
+
+// Selection is one predicate of a σ: Left op Right.
+type Selection struct {
+	Left  Operand
+	Op    cond.Op
+	Right Operand
+}
+
+// Select (σ) keeps each tuple with its condition strengthened by the
+// predicates; tuples whose strengthened condition is literally false
+// are dropped. Constants compare directly; any operand holding a
+// c-variable turns the predicate into a condition atom — the c-table
+// form of selection.
+func Select(t *Table, preds ...Selection) (*Table, error) {
+	out := &Table{Schema: t.Schema}
+	for _, tp := range t.Tuples {
+		c := tp.Condition()
+		ok := true
+		for _, p := range preds {
+			l, err := p.Left.resolve(tp)
+			if err != nil {
+				return nil, err
+			}
+			r, err := p.Right.resolve(tp)
+			if err != nil {
+				return nil, err
+			}
+			c = cond.And(c, cond.Compare(l, p.Op, r))
+			if c.IsFalse() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Tuples = append(out.Tuples, NewTuple(tp.Values, c))
+		}
+	}
+	return out, nil
+}
+
+// Project (π) keeps the given columns; duplicate data parts keep their
+// separate conditions (the bag-of-conditioned-tuples view; Normalize
+// merges them by OR when a set view is wanted).
+func Project(t *Table, name string, cols ...int) (*Table, error) {
+	attrs := make([]string, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= t.Schema.Arity() {
+			return nil, fmt.Errorf("ctable: project column %d out of range (arity %d)", c, t.Schema.Arity())
+		}
+		attrs[i] = t.Schema.Attrs[c]
+	}
+	out := &Table{Schema: Schema{Name: name, Attrs: attrs}}
+	for _, tp := range t.Tuples {
+		vals := make([]cond.Term, len(cols))
+		for i, c := range cols {
+			vals[i] = tp.Values[c]
+		}
+		out.Tuples = append(out.Tuples, NewTuple(vals, tp.Condition()))
+	}
+	return out, nil
+}
+
+// Join (⋈) concatenates every pair of tuples, with condition
+// φ₁ ∧ φ₂ ∧ φ(t₁, t₂) where φ(t₁, t₂) states equality of the join
+// columns — exactly the paper's description of the c-table join. The
+// on pairs are (column of a, column of b). Pairs whose combined
+// condition is literally false are dropped.
+func Join(a, b *Table, name string, on ...[2]int) (*Table, error) {
+	for _, p := range on {
+		if p[0] < 0 || p[0] >= a.Schema.Arity() || p[1] < 0 || p[1] >= b.Schema.Arity() {
+			return nil, fmt.Errorf("ctable: join columns %v out of range", p)
+		}
+	}
+	attrs := append(append([]string{}, a.Schema.Attrs...), b.Schema.Attrs...)
+	out := &Table{Schema: Schema{Name: name, Attrs: attrs}}
+	for _, ta := range a.Tuples {
+		for _, tb := range b.Tuples {
+			c := cond.And(ta.Condition(), tb.Condition())
+			for _, p := range on {
+				c = cond.And(c, cond.Compare(ta.Values[p[0]], cond.Eq, tb.Values[p[1]]))
+				if c.IsFalse() {
+					break
+				}
+			}
+			if c.IsFalse() {
+				continue
+			}
+			vals := append(append([]cond.Term{}, ta.Values...), tb.Values...)
+			out.Tuples = append(out.Tuples, NewTuple(vals, c))
+		}
+	}
+	return out, nil
+}
+
+// Union (∪) concatenates two union-compatible c-tables.
+func Union(a, b *Table, name string) (*Table, error) {
+	if a.Schema.Arity() != b.Schema.Arity() {
+		return nil, fmt.Errorf("ctable: union of arities %d and %d", a.Schema.Arity(), b.Schema.Arity())
+	}
+	out := &Table{Schema: Schema{Name: name, Attrs: a.Schema.Attrs}}
+	out.Tuples = append(out.Tuples, a.Tuples...)
+	out.Tuples = append(out.Tuples, b.Tuples...)
+	return out, nil
+}
+
+// Rename gives the table a new name and optionally new attributes.
+func Rename(t *Table, name string, attrs ...string) (*Table, error) {
+	if len(attrs) == 0 {
+		attrs = t.Schema.Attrs
+	}
+	if len(attrs) != t.Schema.Arity() {
+		return nil, fmt.Errorf("ctable: rename with %d attributes, arity is %d", len(attrs), t.Schema.Arity())
+	}
+	out := &Table{Schema: Schema{Name: name, Attrs: attrs}, Tuples: t.Tuples}
+	return out, nil
+}

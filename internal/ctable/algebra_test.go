@@ -1,0 +1,359 @@
+package ctable
+
+import (
+	"math/rand"
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/solver"
+)
+
+// table2PathPrime builds the paper's Pⁱ and C tables directly.
+func table2PathPrime() (*Database, *Table, *Table) {
+	db := NewDatabase()
+	db.DeclareVar("x", solver.EnumDomain(cond.Str("ABC"), cond.Str("ADEC"), cond.Str("ABE")))
+	db.DeclareVar("y", solver.Domain{})
+	pi := NewTable("pi", "dest", "path")
+	pi.MustInsert(cond.Or(
+		cond.Compare(cond.CVar("x"), cond.Eq, cond.Str("ABC")),
+		cond.Compare(cond.CVar("x"), cond.Eq, cond.Str("ADEC")),
+	), cond.Str("1.2.3.4"), cond.CVar("x"))
+	pi.MustInsert(cond.Compare(cond.CVar("y"), cond.Ne, cond.Str("1.2.3.4")),
+		cond.CVar("y"), cond.Str("ABE"))
+	pi.MustInsert(nil, cond.Str("1.2.3.6"), cond.Str("ADEC"))
+	db.AddTable(pi)
+	c := NewTable("c", "path", "cost")
+	c.MustInsert(nil, cond.Str("ABC"), cond.Int(3))
+	c.MustInsert(nil, cond.Str("ADEC"), cond.Int(4))
+	c.MustInsert(nil, cond.Str("ABE"), cond.Int(3))
+	db.AddTable(c)
+	return db, pi, c
+}
+
+// TestAlgebraReproducesQ2: σ_{dest=1.2.3.4}(Pⁱ) ⋈ C projected to cost
+// gives the paper's q2 answer — the "straightforward extension of SQL"
+// route of §3.
+func TestAlgebraReproducesQ2(t *testing.T) {
+	db, pi, c := table2PathPrime()
+	sel, err := Select(pi, Selection{Left: Column(0), Op: cond.Eq, Right: Constant(cond.Str("1.2.3.4"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Join(sel, c, "j", [2]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Project(joined, "q2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := solver.New(db.Doms)
+	byCost := map[int64]*cond.Formula{}
+	for _, tp := range q2.Tuples {
+		sat, err := s.Satisfiable(tp.Condition())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sat {
+			continue
+		}
+		cst := tp.Values[0].I
+		prev := byCost[cst]
+		if prev == nil {
+			prev = cond.False()
+		}
+		byCost[cst] = cond.Or(prev, tp.Condition())
+	}
+	if len(byCost) != 2 {
+		t.Fatalf("q2 should produce costs {3, 4}, got %v", byCost)
+	}
+	for cost, want := range map[int64]*cond.Formula{
+		3: cond.Compare(cond.CVar("x"), cond.Eq, cond.Str("ABC")),
+		4: cond.Compare(cond.CVar("x"), cond.Eq, cond.Str("ADEC")),
+	} {
+		eq, err := s.Equivalent(byCost[cost], want)
+		if err != nil || !eq {
+			t.Errorf("cost %d condition %v, want %v", cost, byCost[cost], want)
+		}
+	}
+}
+
+// TestAlgebraLosslessness: the algebra expression evaluated on the
+// c-table equals per-world evaluation of the plain operators — the
+// c-table promise, checked over all instantiations of $x and a sample
+// of $y values.
+func TestAlgebraLosslessness(t *testing.T) {
+	db, pi, c := table2PathPrime()
+	// Make $y finite for enumeration.
+	db.DeclareVar("y", solver.EnumDomain(cond.Str("1.2.3.4"), cond.Str("1.2.3.5")))
+
+	sel, err := Select(pi, Selection{Left: Column(0), Op: cond.Eq, Right: Constant(cond.Str("1.2.3.5"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined, err := Join(sel, c, "j", [2]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q3, err := Project(joined, "q3", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := solver.New(db.Doms)
+	err = s.Worlds([]string{"x", "y"}, func(assign map[string]cond.Term) bool {
+		// Concrete evaluation: instantiate Pⁱ, filter, join, project.
+		want := map[int64]bool{}
+		for _, tp := range pi.Tuples {
+			st := tp.Subst(assign)
+			if !st.Condition().IsTrue() {
+				continue
+			}
+			if !st.Values[0].Equal(cond.Str("1.2.3.5")) {
+				continue
+			}
+			for _, ct := range c.Tuples {
+				if ct.Values[0].Equal(st.Values[1]) {
+					want[ct.Values[1].I] = true
+				}
+			}
+		}
+		got := map[int64]bool{}
+		for _, tp := range q3.Tuples {
+			st := tp.Subst(assign)
+			if st.Condition().IsTrue() {
+				got[st.Values[0].I] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("world %v: got %v want %v", assign, got, want)
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("world %v: missing cost %d", assign, k)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectConstantFold(t *testing.T) {
+	tbl := NewTable("r", "a")
+	tbl.MustInsert(nil, cond.Str("A"))
+	tbl.MustInsert(nil, cond.Str("B"))
+	out, err := Select(tbl, Selection{Left: Column(0), Op: cond.Eq, Right: Constant(cond.Str("A"))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 || !out.Tuples[0].Values[0].Equal(cond.Str("A")) {
+		t.Errorf("constant selection should fold: %v", out)
+	}
+}
+
+func TestSelectColumnToColumn(t *testing.T) {
+	tbl := NewTable("r", "a", "b")
+	tbl.MustInsert(nil, cond.CVar("u"), cond.Str("X"))
+	out, err := Select(tbl, Selection{Left: Column(0), Op: cond.Eq, Right: Column(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cond.Compare(cond.CVar("u"), cond.Eq, cond.Str("X"))
+	if out.Len() != 1 || !out.Tuples[0].Condition().Equal(want) {
+		t.Errorf("column-column selection condition = %v, want %v", out.Tuples[0].Condition(), want)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	tbl := NewTable("r", "a")
+	if _, err := Project(tbl, "p", 3); err == nil {
+		t.Errorf("out-of-range projection should error")
+	}
+}
+
+func TestJoinErrorsAndSchema(t *testing.T) {
+	a := NewTable("a", "x", "y")
+	b := NewTable("b", "z")
+	if _, err := Join(a, b, "j", [2]int{5, 0}); err == nil {
+		t.Errorf("out-of-range join column should error")
+	}
+	a.MustInsert(nil, cond.Int(1), cond.Int(2))
+	b.MustInsert(nil, cond.Int(2))
+	j, err := Join(a, b, "j", [2]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Schema.Arity() != 3 || j.Len() != 1 {
+		t.Errorf("join schema/content wrong: %v", j)
+	}
+	// Non-matching constants fold away.
+	b2 := NewTable("b2", "z")
+	b2.MustInsert(nil, cond.Int(9))
+	j2, err := Join(a, b2, "j2", [2]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 0 {
+		t.Errorf("non-matching join should be empty, got %v", j2)
+	}
+}
+
+func TestUnionAndRename(t *testing.T) {
+	a := NewTable("a", "x")
+	a.MustInsert(nil, cond.Int(1))
+	b := NewTable("b", "x")
+	b.MustInsert(nil, cond.Int(2))
+	u, err := Union(a, b, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 2 {
+		t.Errorf("union length %d", u.Len())
+	}
+	if _, err := Union(a, NewTable("c", "p", "q"), "bad"); err == nil {
+		t.Errorf("arity mismatch union should error")
+	}
+	r, err := Rename(u, "renamed", "col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema.Name != "renamed" || r.Schema.Attrs[0] != "col" {
+		t.Errorf("rename wrong: %v", r.Schema)
+	}
+	if _, err := Rename(u, "bad", "a", "b"); err == nil {
+		t.Errorf("rename with wrong attr count should error")
+	}
+}
+
+// TestAlgebraAgreesWithFaurelogShape: a σ-⋈-π pipeline matches the
+// corresponding single-rule query structure — checked here at the
+// world level for the Figure-1-like failover table.
+func TestAlgebraSelectJoinAgainstWorlds(t *testing.T) {
+	db := NewDatabase()
+	db.DeclareVar("x", solver.BoolDomain())
+	f := NewTable("f", "src", "dst")
+	f.MustInsert(cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1)), cond.Int(1), cond.Int(2))
+	f.MustInsert(cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(0)), cond.Int(1), cond.Int(3))
+	f.MustInsert(nil, cond.Int(2), cond.Int(4))
+	f.MustInsert(nil, cond.Int(3), cond.Int(4))
+	db.AddTable(f)
+
+	// Two-hop pairs: f ⋈ f on dst=src, projected to endpoints.
+	j, err := Join(f, f, "j", [2]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Project(j, "two", 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solver.New(db.Doms)
+	err = s.Worlds([]string{"x"}, func(assign map[string]cond.Term) bool {
+		got := map[string]bool{}
+		for _, tp := range two.Tuples {
+			st := tp.Subst(assign)
+			if st.Condition().IsTrue() {
+				got[st.DataKey()] = true
+			}
+		}
+		// Concrete: exactly one two-hop path 1→4 in each world.
+		if len(got) != 1 || !got["1|4"] {
+			t.Errorf("world %v: two-hop pairs %v, want {1|4}", assign, got)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlgebraAgreesWithFaurelogRandom: random select-join-project
+// pipelines agree with the corresponding single-rule fauré-log query
+// on conditioned tables, world by world.
+func TestAlgebraAgreesWithFaurelogRandom(t *testing.T) {
+	// The fauré-log side lives in a higher-level package, so compare
+	// against explicit per-world evaluation instead: algebra on the
+	// c-table vs plain relational algebra per world.
+	rnd := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		db := NewDatabase()
+		db.DeclareVar("u", solver.BoolDomain())
+		db.DeclareVar("v", solver.BoolDomain())
+		mkCond := func() *cond.Formula {
+			switch rnd.Intn(3) {
+			case 0:
+				return cond.True()
+			case 1:
+				return cond.Compare(cond.CVar("u"), cond.Eq, cond.Int(int64(rnd.Intn(2))))
+			default:
+				return cond.Compare(cond.CVar("v"), cond.Eq, cond.Int(int64(rnd.Intn(2))))
+			}
+		}
+		consts := []cond.Term{cond.Str("A"), cond.Str("B"), cond.Str("C")}
+		a := NewTable("a", "x", "y")
+		b := NewTable("b", "y", "z")
+		for i := 0; i < 4+rnd.Intn(4); i++ {
+			a.MustInsert(mkCond(), consts[rnd.Intn(3)], consts[rnd.Intn(3)])
+			b.MustInsert(mkCond(), consts[rnd.Intn(3)], consts[rnd.Intn(3)])
+		}
+		db.AddTable(a)
+		db.AddTable(b)
+
+		selConst := consts[rnd.Intn(3)]
+		sel, err := Select(a, Selection{Left: Column(0), Op: cond.Eq, Right: Constant(selConst)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		joined, err := Join(sel, b, "j", [2]int{1, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj, err := Project(joined, "p", 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		s := solver.New(db.Doms)
+		err = s.Worlds([]string{"u", "v"}, func(assign map[string]cond.Term) bool {
+			// Concrete pipeline.
+			want := map[string]bool{}
+			for _, ta := range a.Tuples {
+				sa := ta.Subst(assign)
+				if !sa.Condition().IsTrue() || !sa.Values[0].Equal(selConst) {
+					continue
+				}
+				for _, tb := range b.Tuples {
+					sb := tb.Subst(assign)
+					if !sb.Condition().IsTrue() || !sb.Values[0].Equal(sa.Values[1]) {
+						continue
+					}
+					want[sa.Values[0].String()+"|"+sb.Values[1].String()] = true
+				}
+			}
+			got := map[string]bool{}
+			for _, tp := range proj.Tuples {
+				st := tp.Subst(assign)
+				if st.Condition().IsTrue() {
+					got[st.DataKey()] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Errorf("trial %d world %v: got %v want %v", trial, assign, got, want)
+				return false
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("trial %d world %v: missing %s", trial, assign, k)
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package ctable
+
+import (
+	"sort"
+
+	"faure/internal/cond"
+	"faure/internal/solver"
+)
+
+// AnswerStatus classifies a query answer relative to the unknowns —
+// the vocabulary of partial analysis: an answer can be certain (in
+// every possible world), merely possible, or impossible.
+type AnswerStatus int
+
+const (
+	// Impossible: the answer holds in no possible world.
+	Impossible AnswerStatus = iota
+	// Possible: the answer holds in some worlds but not all.
+	Possible
+	// Certain: the answer holds in every possible world.
+	Certain
+)
+
+// String renders the status.
+func (s AnswerStatus) String() string {
+	switch s {
+	case Certain:
+		return "certain"
+	case Possible:
+		return "possible"
+	default:
+		return "impossible"
+	}
+}
+
+// Answer is one classified data part of a query result.
+type Answer struct {
+	// Tuple is the data part (rendered by DataKey of its values).
+	Values []cond.Term
+	// Status is the classification.
+	Status AnswerStatus
+	// Cond is the combined condition under which the answer holds
+	// (true for certain answers after simplification).
+	Cond *cond.Formula
+}
+
+// Classify groups a table's tuples by data part, combines their
+// conditions by disjunction, and classifies each against the solver:
+// valid → Certain, satisfiable → Possible, else Impossible (such
+// answers are included so callers can see what eager pruning removed;
+// filter by Status when only realisable answers matter). Answers come
+// back sorted by data key for deterministic output.
+func Classify(t *Table, s *solver.Solver) ([]Answer, error) {
+	byKey := map[string]*Answer{}
+	var keys []string
+	for _, tp := range t.Tuples {
+		k := tp.DataKey()
+		a, ok := byKey[k]
+		if !ok {
+			a = &Answer{Values: tp.Values, Cond: cond.False()}
+			byKey[k] = a
+			keys = append(keys, k)
+		}
+		a.Cond = cond.Or(a.Cond, tp.Condition())
+	}
+	sort.Strings(keys)
+	out := make([]Answer, 0, len(keys))
+	for _, k := range keys {
+		a := byKey[k]
+		sat, err := s.Satisfiable(a.Cond)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case !sat:
+			a.Status = Impossible
+		default:
+			valid, err := s.Valid(a.Cond)
+			if err != nil {
+				return nil, err
+			}
+			if valid {
+				a.Status = Certain
+			} else {
+				a.Status = Possible
+			}
+		}
+		out = append(out, *a)
+	}
+	return out, nil
+}

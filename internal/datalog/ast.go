@@ -1,0 +1,180 @@
+// Package datalog implements classical (pure) datalog: rules over
+// ordinary relations with semi-naive fixpoint evaluation and
+// stratified negation, plus conjunctive-query containment by canonical
+// databases. It serves two roles in the fauré reproduction: the
+// baseline engine fauré-log is compared against, and the reference
+// semantics for the loss-lessness and containment tests (fauré-log on
+// a c-table must agree with pure datalog on every possible world).
+package datalog
+
+import (
+	"fmt"
+	"strings"
+
+	"faure/internal/cond"
+)
+
+// TermKind discriminates rule-term variants.
+type TermKind uint8
+
+const (
+	// TVar is a program variable (x, y, dest ...).
+	TVar TermKind = iota
+	// TConst is a constant of the attribute domain.
+	TConst
+)
+
+// Term is an argument of an atom: a variable or a constant. Constants
+// reuse cond.Term (restricted to its constant kinds) so values flow
+// between the pure and fauré engines without conversion.
+type Term struct {
+	Kind  TermKind
+	Var   string
+	Const cond.Term
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Kind: TVar, Var: name} }
+
+// C returns a constant term.
+func C(v cond.Term) Term { return Term{Kind: TConst, Const: v} }
+
+// String renders the term.
+func (t Term) String() string {
+	if t.Kind == TVar {
+		return t.Var
+	}
+	return t.Const.String()
+}
+
+// Atom is a literal of a rule body or a rule head: Pred(Args), with
+// Neg marking negated body literals.
+type Atom struct {
+	Pred string
+	Args []Term
+	Neg  bool
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	s := a.Pred + "(" + strings.Join(parts, ", ") + ")"
+	if a.Neg {
+		s = "not " + s
+	}
+	return s
+}
+
+// Rule is H :- B1, ..., Bn. A rule with an empty body is a fact.
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// String renders the rule in the concrete syntax.
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Vars returns the variables of the atom in order of occurrence.
+func (a Atom) Vars() []string {
+	var out []string
+	for _, t := range a.Args {
+		if t.Kind == TVar {
+			out = append(out, t.Var)
+		}
+	}
+	return out
+}
+
+// Validate checks rule safety: every head variable and every variable
+// of a negated literal must occur in a positive body literal.
+func (r Rule) Validate() error {
+	positive := map[string]bool{}
+	for _, a := range r.Body {
+		if !a.Neg {
+			for _, v := range a.Vars() {
+				positive[v] = true
+			}
+		}
+	}
+	for _, v := range r.Head.Vars() {
+		if !positive[v] {
+			return fmt.Errorf("datalog: unsafe rule %v: head variable %s not bound by a positive literal", r, v)
+		}
+	}
+	for _, a := range r.Body {
+		if a.Neg {
+			for _, v := range a.Vars() {
+				if !positive[v] {
+					return fmt.Errorf("datalog: unsafe rule %v: variable %s of negated literal not bound", r, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Program is a finite collection of rules.
+type Program struct {
+	Rules []Rule
+}
+
+// String renders the program one rule per line.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IDB returns the set of predicates defined by rule heads.
+func (p *Program) IDB() map[string]bool {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	return idb
+}
+
+// Validate checks safety of every rule and consistent predicate
+// arities across the program.
+func (p *Program) Validate() error {
+	arity := map[string]int{}
+	check := func(a Atom) error {
+		if n, ok := arity[a.Pred]; ok {
+			if n != len(a.Args) {
+				return fmt.Errorf("datalog: predicate %s used with arities %d and %d", a.Pred, n, len(a.Args))
+			}
+		} else {
+			arity[a.Pred] = len(a.Args)
+		}
+		return nil
+	}
+	for _, r := range p.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if err := check(r.Head); err != nil {
+			return err
+		}
+		for _, a := range r.Body {
+			if err := check(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+
+	"faure/internal/cond"
+)
+
+// ContainedCQ decides containment q1 ⊆ q2 of two conjunctive queries
+// (single positive-body rules with the same head predicate and arity)
+// by the classical canonical-database argument: freeze q1's variables
+// into fresh constants, evaluate q2 on the frozen body, and check that
+// the frozen head is derived. This is the NP-complete baseline the
+// paper side-steps with its fauré-log reduction.
+func ContainedCQ(q1, q2 Rule) (bool, error) {
+	if q1.Head.Pred != q2.Head.Pred || len(q1.Head.Args) != len(q2.Head.Args) {
+		return false, fmt.Errorf("datalog: containment requires identical head predicates")
+	}
+	for _, a := range q1.Body {
+		if a.Neg {
+			return false, fmt.Errorf("datalog: ContainedCQ requires a positive body in %v", q1)
+		}
+	}
+	for _, a := range q2.Body {
+		if a.Neg {
+			return false, fmt.Errorf("datalog: ContainedCQ requires a positive body in %v", q2)
+		}
+	}
+	frozen := freeze(q1)
+	edb := Instance{}
+	for _, a := range frozen.Body {
+		row := make([]cond.Term, len(a.Args))
+		for i, t := range a.Args {
+			row[i] = t.Const
+		}
+		edb.Insert(a.Pred, row...)
+	}
+	prog := &Program{Rules: []Rule{q2}}
+	out, err := Eval(prog, edb)
+	if err != nil {
+		return false, err
+	}
+	headRow := make([]cond.Term, len(frozen.Head.Args))
+	for i, t := range frozen.Head.Args {
+		headRow[i] = t.Const
+	}
+	rel := out[q2.Head.Pred]
+	return rel != nil && rel.Contains(headRow), nil
+}
+
+// ContainedUCQ decides containment of a union of conjunctive queries
+// in another: every rule of q1 must be contained in the union q2.
+func ContainedUCQ(q1, q2 []Rule) (bool, error) {
+	for _, r1 := range q1 {
+		frozen := freeze(r1)
+		edb := Instance{}
+		for _, a := range frozen.Body {
+			row := make([]cond.Term, len(a.Args))
+			for i, t := range a.Args {
+				row[i] = t.Const
+			}
+			edb.Insert(a.Pred, row...)
+		}
+		prog := &Program{Rules: q2}
+		out, err := Eval(prog, edb)
+		if err != nil {
+			return false, err
+		}
+		headRow := make([]cond.Term, len(frozen.Head.Args))
+		for i, t := range frozen.Head.Args {
+			headRow[i] = t.Const
+		}
+		rel := out[frozen.Head.Pred]
+		if rel == nil || !rel.Contains(headRow) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// freeze replaces every variable of the rule with a distinct fresh
+// constant (the canonical database construction).
+func freeze(r Rule) Rule {
+	m := map[string]cond.Term{}
+	n := 0
+	frz := func(t Term) Term {
+		if t.Kind == TConst {
+			return t
+		}
+		c, ok := m[t.Var]
+		if !ok {
+			c = cond.Str(" frz" + strconv.Itoa(n) + "_" + t.Var)
+			m[t.Var] = c
+			n++
+		}
+		return C(c)
+	}
+	out := Rule{Head: Atom{Pred: r.Head.Pred}}
+	for _, t := range r.Head.Args {
+		out.Head.Args = append(out.Head.Args, frz(t))
+	}
+	for _, a := range r.Body {
+		na := Atom{Pred: a.Pred, Neg: a.Neg}
+		for _, t := range a.Args {
+			na.Args = append(na.Args, frz(t))
+		}
+		out.Body = append(out.Body, na)
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package datalog
+
+import (
+	"strings"
+	"testing"
+
+	"faure/internal/cond"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func TestParseAndPrint(t *testing.T) {
+	p := mustParse(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+		blocked(x) :- node(x), not reach(Root, x).
+		link(A, B).
+	`)
+	if len(p.Rules) != 4 {
+		t.Fatalf("rule count = %d", len(p.Rules))
+	}
+	printed := p.String()
+	if !strings.Contains(printed, "not reach(Root, x)") {
+		t.Errorf("printed = %q", printed)
+	}
+	if _, err := Parse(printed); err != nil {
+		t.Errorf("round trip failed: %v", err)
+	}
+}
+
+func TestParseRejectsCVar(t *testing.T) {
+	if _, err := Parse(`q(x) :- r(x, $y).`); err == nil {
+		t.Errorf("c-variable should be rejected in pure datalog")
+	}
+}
+
+func TestParseRejectsUnsafe(t *testing.T) {
+	for _, src := range []string{
+		`q(x) :- r(y).`,
+		`q(x) :- r(x), not s(y).`,
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("unsafe program %q accepted", src)
+		}
+	}
+}
+
+func TestEvalTransitiveClosure(t *testing.T) {
+	p := mustParse(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+	`)
+	edb := Instance{}
+	for _, e := range [][2]int64{{1, 2}, {2, 3}, {3, 4}, {4, 2}} {
+		edb.Insert("link", cond.Int(e[0]), cond.Int(e[1]))
+	}
+	out, err := Eval(p, edb)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	reach := out["reach"]
+	// From 1 everything except 1 is reachable; the 2-3-4 cycle reaches
+	// itself.
+	want := [][2]int64{{1, 2}, {1, 3}, {1, 4}, {2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {3, 4}, {4, 2}, {4, 3}, {4, 4}}
+	if reach.Len() != len(want) {
+		t.Fatalf("reach has %d rows, want %d:\n%s", reach.Len(), len(want), out.SortedDump())
+	}
+	for _, w := range want {
+		if !reach.Contains([]cond.Term{cond.Int(w[0]), cond.Int(w[1])}) {
+			t.Errorf("missing reach(%d, %d)", w[0], w[1])
+		}
+	}
+}
+
+func TestEvalStratifiedNegation(t *testing.T) {
+	p := mustParse(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+		isolated(x) :- node(x), not reach(N1, x).
+	`)
+	edb := Instance{}
+	edb.Insert("link", cond.Str("N1"), cond.Str("N2"))
+	for _, n := range []string{"N1", "N2", "N3"} {
+		edb.Insert("node", cond.Str(n))
+	}
+	out, err := Eval(p, edb)
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	iso := out["isolated"]
+	if iso.Len() != 2 {
+		t.Fatalf("isolated = %d rows:\n%s", iso.Len(), out.SortedDump())
+	}
+	for _, n := range []string{"N1", "N3"} {
+		if !iso.Contains([]cond.Term{cond.Str(n)}) {
+			t.Errorf("missing isolated(%s)", n)
+		}
+	}
+}
+
+func TestEvalFacts(t *testing.T) {
+	p := mustParse(t, `
+		base(A, 1).
+		derived(x) :- base(x, 1).
+	`)
+	out, err := Eval(p, Instance{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	if !out["derived"].Contains([]cond.Term{cond.Str("A")}) {
+		t.Errorf("fact-driven derivation failed:\n%s", out.SortedDump())
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	p := &Program{Rules: []Rule{
+		{Head: Atom{Pred: "p", Args: []Term{V("x")}},
+			Body: []Atom{{Pred: "r", Args: []Term{V("x")}}, {Pred: "q", Args: []Term{V("x")}, Neg: true}}},
+		{Head: Atom{Pred: "q", Args: []Term{V("x")}},
+			Body: []Atom{{Pred: "r", Args: []Term{V("x")}}, {Pred: "p", Args: []Term{V("x")}, Neg: true}}},
+	}}
+	if _, err := Stratify(p); err == nil {
+		t.Errorf("negation through recursion should be rejected")
+	}
+}
+
+func TestStratifyLayers(t *testing.T) {
+	p := mustParse(t, `
+		a(x) :- e(x).
+		b(x) :- e(x), not a(x).
+		c(x) :- e(x), not b(x).
+	`)
+	strata, err := Stratify(p)
+	if err != nil {
+		t.Fatalf("Stratify: %v", err)
+	}
+	if len(strata) != 3 {
+		t.Fatalf("expected 3 strata, got %d: %v", len(strata), strata)
+	}
+}
+
+func TestContainedCQ(t *testing.T) {
+	// q1: ans(x) :- e(x, y), e(y, x).   (a 2-cycle through x)
+	// q2: ans(x) :- e(x, y).            (any outgoing edge)
+	q1 := mustParse(t, `ans(x) :- e(x, y), e(y, x).`).Rules[0]
+	q2 := mustParse(t, `ans(x) :- e(x, y).`).Rules[0]
+	got, err := ContainedCQ(q1, q2)
+	if err != nil {
+		t.Fatalf("ContainedCQ: %v", err)
+	}
+	if !got {
+		t.Errorf("q1 ⊆ q2 should hold")
+	}
+	got, err = ContainedCQ(q2, q1)
+	if err != nil {
+		t.Fatalf("ContainedCQ: %v", err)
+	}
+	if got {
+		t.Errorf("q2 ⊆ q1 should not hold")
+	}
+}
+
+func TestContainedCQWithConstants(t *testing.T) {
+	// Path of length 2 from A ⊆ path of length 2 from anywhere.
+	q1 := mustParse(t, `ans(z) :- e(A, y), e(y, z).`).Rules[0]
+	q2 := mustParse(t, `ans(z) :- e(x, y), e(y, z).`).Rules[0]
+	got, err := ContainedCQ(q1, q2)
+	if err != nil || !got {
+		t.Errorf("constant-specialised query should be contained (%v, %v)", got, err)
+	}
+	got, err = ContainedCQ(q2, q1)
+	if err != nil || got {
+		t.Errorf("general query should not be contained in the specialised one (%v, %v)", got, err)
+	}
+}
+
+func TestContainedCQSelfJoinFolding(t *testing.T) {
+	// ans() :- e(x, y), e(y, z)  vs  ans() :- e(x, x):
+	// a self-loop instance satisfies both; the homomorphism maps
+	// x,y,z all onto the loop, so q_loop ⊆ q_path.
+	qLoop := mustParse(t, `ans() :- e(x, x).`).Rules[0]
+	qPath := mustParse(t, `ans() :- e(x, y), e(y, z).`).Rules[0]
+	got, err := ContainedCQ(qLoop, qPath)
+	if err != nil || !got {
+		t.Errorf("loop query should be contained in path query (%v, %v)", got, err)
+	}
+	got, err = ContainedCQ(qPath, qLoop)
+	if err != nil || got {
+		t.Errorf("path query should not be contained in loop query (%v, %v)", got, err)
+	}
+}
+
+func TestContainedUCQ(t *testing.T) {
+	// ans() :- e(A, B) is contained in the union {ans() :- e(A, y)} ∪
+	// {ans() :- e(x, B)}.
+	q1 := mustParse(t, `ans() :- e(A, B).`).Rules
+	q2 := mustParse(t, `
+		ans() :- e(A, y).
+		ans() :- e(x, B).
+	`).Rules
+	got, err := ContainedUCQ(q1, q2)
+	if err != nil || !got {
+		t.Errorf("UCQ containment should hold (%v, %v)", got, err)
+	}
+	got, err = ContainedUCQ(q2, q1)
+	if err != nil || got {
+		t.Errorf("reverse UCQ containment should fail (%v, %v)", got, err)
+	}
+}
+
+func TestContainedCQRejectsNegation(t *testing.T) {
+	q1 := mustParse(t, `ans(x) :- e(x, y), not f(x).`).Rules[0]
+	q2 := mustParse(t, `ans(x) :- e(x, y).`).Rules[0]
+	if _, err := ContainedCQ(q1, q2); err == nil {
+		t.Errorf("negated body should be rejected")
+	}
+}
+
+func TestRelationDedup(t *testing.T) {
+	r := NewRelation("r", 2)
+	row := []cond.Term{cond.Int(1), cond.Int(2)}
+	if !r.Insert(row) {
+		t.Errorf("first insert should be new")
+	}
+	if r.Insert(row) {
+		t.Errorf("duplicate insert should report false")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestInstanceCloneIndependence(t *testing.T) {
+	in := Instance{}
+	in.Insert("r", cond.Int(1))
+	c := in.Clone()
+	c.Insert("r", cond.Int(2))
+	if in["r"].Len() != 1 || c["r"].Len() != 2 {
+		t.Errorf("clone should be independent: %d, %d", in["r"].Len(), c["r"].Len())
+	}
+}
+
+func TestSortedDump(t *testing.T) {
+	in := Instance{}
+	in.Insert("b", cond.Str("Z"))
+	in.Insert("a", cond.Int(2), cond.Int(3))
+	in.Insert("a", cond.Int(1), cond.Int(2))
+	dump := in.SortedDump()
+	wantOrder := []string{"a:", "1|2", "2|3", "b:", "Z"}
+	last := -1
+	for _, frag := range wantOrder {
+		idx := strings.Index(dump, frag)
+		if idx < 0 || idx < last {
+			t.Fatalf("SortedDump order wrong:\n%s", dump)
+		}
+		last = idx
+	}
+}

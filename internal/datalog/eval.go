@@ -1,0 +1,280 @@
+package datalog
+
+import (
+	"fmt"
+
+	"faure/internal/cond"
+)
+
+// Stratify splits the program's IDB predicates into strata such that
+// negation never crosses within a stratum: a predicate negated in a
+// rule body must be fully computed in a strictly lower stratum. It
+// returns the ordered strata (each a set of predicates) or an error
+// when the program has negation through recursion.
+func Stratify(p *Program) ([][]string, error) {
+	idb := p.IDB()
+	type edge struct {
+		to  string
+		neg bool
+	}
+	adj := map[string][]edge{}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if idb[a.Pred] {
+				adj[a.Pred] = append(adj[a.Pred], edge{to: r.Head.Pred, neg: a.Neg})
+			}
+		}
+	}
+	// Longest-path layering over negative edges: stratum(head) >=
+	// stratum(body) (+1 if negated). Iterate to fixpoint; more than
+	// |IDB| rounds of change means a negative cycle.
+	stratum := map[string]int{}
+	for pred := range idb {
+		stratum[pred] = 0
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for from, es := range adj {
+			for _, e := range es {
+				need := stratum[from]
+				if e.neg {
+					need++
+				}
+				if stratum[e.to] < need {
+					stratum[e.to] = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > len(idb)+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (negation through recursion)")
+		}
+	}
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	strata := make([][]string, maxS+1)
+	for pred, s := range stratum {
+		strata[s] = append(strata[s], pred)
+	}
+	return strata, nil
+}
+
+// Eval computes the program's fixpoint over the EDB instance and
+// returns a new instance containing both EDB and derived IDB
+// relations. The input instance is not modified.
+func Eval(p *Program, edb Instance) (Instance, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	out := edb.Clone()
+	for _, preds := range strata {
+		inStratum := map[string]bool{}
+		for _, pr := range preds {
+			inStratum[pr] = true
+		}
+		var rules []Rule
+		for _, r := range p.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		if err := evalStratum(rules, inStratum, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// evalStratum runs semi-naive iteration for one stratum's rules.
+func evalStratum(rules []Rule, recursive map[string]bool, in Instance) error {
+	// Ensure head relations exist.
+	for _, r := range rules {
+		in.Rel(r.Head.Pred, len(r.Head.Args))
+	}
+	// delta holds the rows derived in the previous round, per
+	// predicate. Round zero evaluates every rule in full.
+	delta := map[string]*Relation{}
+	newDelta := func() map[string]*Relation {
+		m := map[string]*Relation{}
+		for pr := range recursive {
+			if rel, ok := in[pr]; ok {
+				m[pr] = NewRelation(pr, rel.Arity)
+			}
+		}
+		return m
+	}
+	derive := func(r Rule, deltaPred string, deltaRel *Relation, sink map[string]*Relation) error {
+		return joinBody(r, in, deltaPred, deltaRel, func(bind map[string]cond.Term) error {
+			row, err := instantiate(r.Head, bind)
+			if err != nil {
+				return err
+			}
+			if in.Rel(r.Head.Pred, len(row)).Insert(row) {
+				sink[r.Head.Pred].Insert(row)
+			}
+			return nil
+		})
+	}
+
+	first := newDelta()
+	for _, r := range rules {
+		if err := derive(r, "", nil, first); err != nil {
+			return err
+		}
+	}
+	delta = first
+	for {
+		any := false
+		for _, rel := range delta {
+			if rel.Len() > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil
+		}
+		next := newDelta()
+		for _, r := range rules {
+			// For each occurrence of a recursive predicate in the body,
+			// re-derive with the delta substituted at that occurrence.
+			for i, a := range r.Body {
+				if a.Neg || !recursive[a.Pred] {
+					continue
+				}
+				d := delta[a.Pred]
+				if d == nil || d.Len() == 0 {
+					continue
+				}
+				if err := deriveAt(r, i, d, in, next); err != nil {
+					return err
+				}
+			}
+		}
+		delta = next
+	}
+}
+
+// deriveAt evaluates rule r with the delta relation substituted for
+// the i-th body literal.
+func deriveAt(r Rule, i int, deltaRel *Relation, in Instance, sink map[string]*Relation) error {
+	return joinBodyAt(r, in, i, deltaRel, func(bind map[string]cond.Term) error {
+		row, err := instantiate(r.Head, bind)
+		if err != nil {
+			return err
+		}
+		if in.Rel(r.Head.Pred, len(row)).Insert(row) {
+			sink[r.Head.Pred].Insert(row)
+		}
+		return nil
+	})
+}
+
+// joinBody enumerates all valuations satisfying the rule body; when
+// deltaPred is non-empty the first occurrence restriction is not
+// applied (kept for symmetry with deriveAt).
+func joinBody(r Rule, in Instance, deltaPred string, deltaRel *Relation, emit func(map[string]cond.Term) error) error {
+	return joinFrom(r, in, 0, map[string]cond.Term{}, -1, nil, emit)
+}
+
+func joinBodyAt(r Rule, in Instance, deltaIdx int, deltaRel *Relation, emit func(map[string]cond.Term) error) error {
+	return joinFrom(r, in, 0, map[string]cond.Term{}, deltaIdx, deltaRel, emit)
+}
+
+func joinFrom(r Rule, in Instance, i int, bind map[string]cond.Term, deltaIdx int, deltaRel *Relation, emit func(map[string]cond.Term) error) error {
+	if i == len(r.Body) {
+		return emit(bind)
+	}
+	a := r.Body[i]
+	if a.Neg {
+		row, err := instantiate(a, bind)
+		if err != nil {
+			return err
+		}
+		rel := in[a.Pred]
+		if rel != nil && rel.Contains(row) {
+			return nil
+		}
+		return joinFrom(r, in, i+1, bind, deltaIdx, deltaRel, emit)
+	}
+	rel := in[a.Pred]
+	if i == deltaIdx {
+		rel = deltaRel
+	}
+	if rel == nil {
+		return nil
+	}
+	for _, row := range rel.Rows() {
+		undo, ok := match(a, row, bind)
+		if !ok {
+			continue
+		}
+		if err := joinFrom(r, in, i+1, bind, deltaIdx, deltaRel, emit); err != nil {
+			return err
+		}
+		for _, v := range undo {
+			delete(bind, v)
+		}
+	}
+	return nil
+}
+
+// match unifies the atom's arguments with a ground row under the
+// current bindings, extending bind; it returns the newly bound
+// variables for undo.
+func match(a Atom, row []cond.Term, bind map[string]cond.Term) ([]string, bool) {
+	var bound []string
+	for i, t := range a.Args {
+		switch t.Kind {
+		case TConst:
+			if !t.Const.Equal(row[i]) {
+				for _, v := range bound {
+					delete(bind, v)
+				}
+				return nil, false
+			}
+		case TVar:
+			if v, ok := bind[t.Var]; ok {
+				if !v.Equal(row[i]) {
+					for _, v := range bound {
+						delete(bind, v)
+					}
+					return nil, false
+				}
+			} else {
+				bind[t.Var] = row[i]
+				bound = append(bound, t.Var)
+			}
+		}
+	}
+	return bound, true
+}
+
+// instantiate grounds an atom under total bindings.
+func instantiate(a Atom, bind map[string]cond.Term) ([]cond.Term, error) {
+	row := make([]cond.Term, len(a.Args))
+	for i, t := range a.Args {
+		switch t.Kind {
+		case TConst:
+			row[i] = t.Const
+		case TVar:
+			v, ok := bind[t.Var]
+			if !ok {
+				return nil, fmt.Errorf("datalog: unbound variable %s in %v", t.Var, a)
+			}
+			row[i] = v
+		}
+	}
+	return row, nil
+}

@@ -1,0 +1,112 @@
+package datalog
+
+import (
+	"sort"
+	"strings"
+
+	"faure/internal/cond"
+)
+
+// Relation is an ordinary (ground) relation: a set of constant rows.
+type Relation struct {
+	Name  string
+	Arity int
+	rows  [][]cond.Term
+	index map[string]bool
+}
+
+// NewRelation returns an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, index: map[string]bool{}}
+}
+
+func rowKey(row []cond.Term) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(v.String())
+	}
+	return b.String()
+}
+
+// Insert adds a row if absent; it reports whether the row was new.
+func (r *Relation) Insert(row []cond.Term) bool {
+	k := rowKey(row)
+	if r.index[k] {
+		return false
+	}
+	r.index[k] = true
+	r.rows = append(r.rows, row)
+	return true
+}
+
+// Contains reports whether the row is present.
+func (r *Relation) Contains(row []cond.Term) bool { return r.index[rowKey(row)] }
+
+// Rows returns the rows; callers must not mutate them.
+func (r *Relation) Rows() [][]cond.Term { return r.rows }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Instance maps relation names to relations.
+type Instance map[string]*Relation
+
+// Rel returns the named relation, creating an empty one with the given
+// arity when missing.
+func (in Instance) Rel(name string, arity int) *Relation {
+	r, ok := in[name]
+	if !ok {
+		r = NewRelation(name, arity)
+		in[name] = r
+	}
+	return r
+}
+
+// Insert adds a row to the named relation.
+func (in Instance) Insert(name string, row ...cond.Term) bool {
+	return in.Rel(name, len(row)).Insert(row)
+}
+
+// Clone deep-copies the instance structure (rows are shared; they are
+// never mutated).
+func (in Instance) Clone() Instance {
+	out := Instance{}
+	for n, r := range in {
+		nr := NewRelation(r.Name, r.Arity)
+		for _, row := range r.rows {
+			nr.Insert(row)
+		}
+		out[n] = nr
+	}
+	return out
+}
+
+// SortedDump renders the instance deterministically, for test
+// comparison: relation names sorted, rows sorted lexicographically.
+func (in Instance) SortedDump() string {
+	names := make([]string, 0, len(in))
+	for n := range in {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		rel := in[n]
+		keys := make([]string, 0, rel.Len())
+		for _, row := range rel.rows {
+			keys = append(keys, rowKey(row))
+		}
+		sort.Strings(keys)
+		b.WriteString(n)
+		b.WriteString(":\n")
+		for _, k := range keys {
+			b.WriteString("  ")
+			b.WriteString(k)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

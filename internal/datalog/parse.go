@@ -1,0 +1,147 @@
+package datalog
+
+import (
+	"faure/internal/cond"
+	"faure/internal/lang"
+)
+
+// Parse reads a pure-datalog program in the concrete syntax:
+//
+//	reach(x, y) :- link(x, y).
+//	reach(x, z) :- link(x, y), reach(y, z).
+//	blocked(x)  :- node(x), not reach(Root, x).
+//	link(A, B).                      % a fact
+//
+// Identifiers starting with a lowercase letter are variables; ones
+// starting uppercase, quoted strings, dotted literals and integers are
+// constants. Comments run from '%' or '#' to end of line.
+func Parse(src string) (*Program, error) {
+	toks, err := lang.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(lang.TEOF) {
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type parser struct {
+	toks []lang.Token
+	pos  int
+}
+
+func (p *parser) peek() lang.Token { return p.toks[p.pos] }
+
+func (p *parser) next() lang.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lang.TEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k lang.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) expectSym(sym string) error {
+	t := p.next()
+	if !t.Is(sym) {
+		return lang.Errorf(t, "expected %q, found %s", sym, t)
+	}
+	return nil
+}
+
+func (p *parser) rule() (Rule, error) {
+	head, err := p.atom(false)
+	if err != nil {
+		return Rule{}, err
+	}
+	var body []Atom
+	if p.peek().Is(":-") {
+		p.next()
+		for {
+			a, err := p.literal()
+			if err != nil {
+				return Rule{}, err
+			}
+			body = append(body, a)
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectSym("."); err != nil {
+		return Rule{}, err
+	}
+	return Rule{Head: head, Body: body}, nil
+}
+
+func (p *parser) literal() (Atom, error) {
+	neg := false
+	if p.peek().IsIdent("not") {
+		p.next()
+		neg = true
+	}
+	return p.atom(neg)
+}
+
+func (p *parser) atom(neg bool) (Atom, error) {
+	t := p.next()
+	if t.Kind != lang.TIdent {
+		return Atom{}, lang.Errorf(t, "expected predicate name, found %s", t)
+	}
+	a := Atom{Pred: t.Text, Neg: neg}
+	if err := p.expectSym("("); err != nil {
+		return Atom{}, err
+	}
+	if p.peek().Is(")") {
+		p.next()
+		return a, nil
+	}
+	for {
+		arg, err := p.term()
+		if err != nil {
+			return Atom{}, err
+		}
+		a.Args = append(a.Args, arg)
+		if p.peek().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return Atom{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) term() (Term, error) {
+	t := p.next()
+	switch t.Kind {
+	case lang.TIdent:
+		if lang.IsVariableName(t.Text) {
+			return V(t.Text), nil
+		}
+		return C(cond.Str(t.Text)), nil
+	case lang.TString:
+		return C(cond.Str(t.Text)), nil
+	case lang.TInt:
+		return C(cond.Int(t.Int)), nil
+	case lang.TCVar:
+		return Term{}, lang.Errorf(t, "c-variables are not allowed in pure datalog (use fauré-log)")
+	default:
+		return Term{}, lang.Errorf(t, "expected term, found %s", t)
+	}
+}

@@ -1,0 +1,829 @@
+package faurelog
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/relstore"
+	"faure/internal/solver"
+)
+
+// Options tunes evaluation. The zero value asks for defaults: indexed
+// matching, eager solver pruning and semantic absorption on.
+type Options struct {
+	// MaxIterations bounds each stratum's fixpoint; 0 means the
+	// default (100000). The bound exists as a safety net: termination
+	// is otherwise guaranteed by condition canonicalisation.
+	MaxIterations int
+	// NoEagerPrune skips the per-derivation satisfiability check (the
+	// paper's step 3); contradictory tuples are then removed once at
+	// the end. This is ablation knob "eager vs deferred pruning".
+	NoEagerPrune bool
+	// NoAbsorb disables semantic absorption dedup (dropping a derived
+	// tuple whose condition is implied by the disjunction of the
+	// conditions already derived for the same data part).
+	NoAbsorb bool
+	// NoIndex forces full scans instead of hash-index probes in the
+	// relational store.
+	NoIndex bool
+	// NoSolverCache disables the solver's memoisation of
+	// satisfiability results (ablation knob).
+	NoSolverCache bool
+	// Trace records, for every derived tuple, the rule and body tuples
+	// of its first derivation, enabling Result.Explain. Costs memory
+	// proportional to the number of derived tuples.
+	Trace bool
+}
+
+func (o Options) maxIters() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 100000
+}
+
+// Stats reports the work done by one evaluation, mirroring the paper's
+// Table 4 breakdown: SQLTime is the relational phase (joins, condition
+// construction, dedup), SolverTime is the condition-solving phase (the
+// paper's Z3 column).
+type Stats struct {
+	SQLTime    time.Duration
+	SolverTime time.Duration
+	Derived    int // tuples inserted into derived relations
+	Pruned     int // tuples dropped for contradictory conditions
+	Absorbed   int // tuples dropped by semantic absorption
+	Iterations int // total fixpoint rounds across strata
+	SatCalls   int // solver satisfiability decisions
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.SQLTime += other.SQLTime
+	s.SolverTime += other.SolverTime
+	s.Derived += other.Derived
+	s.Pruned += other.Pruned
+	s.Absorbed += other.Absorbed
+	s.Iterations += other.Iterations
+	s.SatCalls += other.SatCalls
+}
+
+// Result is the outcome of an evaluation: the database extended with
+// the derived relations, plus statistics and (when Options.Trace was
+// set) the derivation trace behind Explain.
+type Result struct {
+	DB    *ctable.Database
+	Stats Stats
+	trace map[string]Derivation
+}
+
+// Table returns a derived or input table by name, or nil.
+func (r *Result) Table(name string) *ctable.Table { return r.DB.Table(name) }
+
+// Eval computes the program's fixpoint over the c-table database and
+// returns the database extended with every derived relation. The input
+// database is not modified. Derived relations shadow same-named input
+// relations in the result.
+func Eval(prog *Program, db *ctable.Database, opts Options) (*Result, error) {
+	e, err := newEngine(prog, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result()
+}
+
+// EvalQuery evaluates the program and returns the named derived table
+// (which must exist in the program's IDB).
+func EvalQuery(prog *Program, db *ctable.Database, pred string, opts Options) (*ctable.Table, *Result, error) {
+	if !prog.IDB()[pred] {
+		return nil, nil, fmt.Errorf("faurelog: predicate %s is not defined by the program", pred)
+	}
+	res, err := Eval(prog, db, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.DB.Table(pred), res, nil
+}
+
+type engine struct {
+	prog  *Program
+	db    *ctable.Database
+	opts  Options
+	store *relstore.Store
+	sol   *solver.Solver
+	// seen dedups tuples per predicate by a 128-bit hash of the full
+	// key (data + canonical condition); hashing instead of retaining
+	// the key strings keeps large runs in memory (collision odds at
+	// 10^7 tuples are ~10^-25). conds lists the conditions derived per
+	// data part, for absorption.
+	seen  map[string]map[[2]uint64]struct{}
+	conds map[string]map[string][]*cond.Formula
+	// derived names the predicates the program defines, in insertion
+	// order, to build the result database; extraExport lists EDB
+	// relations mutated in place (incremental insertions) that the
+	// result must also carry.
+	derivedOrder []string
+	extraExport  []string
+	arity        map[string]int
+	stats        Stats
+	trace        map[string]Derivation
+}
+
+func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		prog:  prog,
+		db:    db,
+		opts:  opts,
+		store: relstore.FromDatabase(db),
+		sol:   solver.New(db.Doms),
+		seen:  map[string]map[[2]uint64]struct{}{},
+		conds: map[string]map[string][]*cond.Formula{},
+		arity: map[string]int{},
+	}
+	if opts.NoSolverCache {
+		e.sol.SetCacheLimit(0)
+	}
+	if opts.Trace {
+		e.trace = map[string]Derivation{}
+	}
+	// Record arities: program predicates plus database relations.
+	for _, r := range prog.Rules {
+		e.noteArity(r.Head.Pred, len(r.Head.Args))
+		for _, a := range r.Body {
+			e.noteArity(a.Pred, len(a.Args))
+		}
+	}
+	for name, t := range db.Tables {
+		e.noteArity(name, t.Schema.Arity())
+	}
+	return e, nil
+}
+
+func (e *engine) noteArity(pred string, n int) {
+	if _, ok := e.arity[pred]; !ok {
+		e.arity[pred] = n
+	}
+}
+
+// timedSat wraps a solver call, attributing its latency to the solver
+// phase rather than the relational phase.
+func (e *engine) timedSat(f *cond.Formula) (bool, error) {
+	start := time.Now()
+	sat, err := e.sol.Satisfiable(f)
+	e.stats.SolverTime += time.Since(start)
+	e.stats.SatCalls++
+	return sat, err
+}
+
+func (e *engine) timedImplies(f, g *cond.Formula) (bool, error) {
+	start := time.Now()
+	ok, err := e.sol.Implies(f, g)
+	e.stats.SolverTime += time.Since(start)
+	e.stats.SatCalls++
+	return ok, err
+}
+
+func (e *engine) run() error {
+	strata, err := Stratify(e.prog)
+	if err != nil {
+		return err
+	}
+	idb := e.prog.IDB()
+	for pred := range idb {
+		e.derivedOrder = append(e.derivedOrder, pred)
+	}
+	sqlStart := time.Now()
+	for _, preds := range strata {
+		inStratum := map[string]bool{}
+		for _, pr := range preds {
+			inStratum[pr] = true
+		}
+		var rules []Rule
+		for _, r := range e.prog.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		if err := e.evalStratum(rules, inStratum); err != nil {
+			return err
+		}
+	}
+	// The wall clock of the whole run minus the time spent in the
+	// solver is the relational ("sql") phase.
+	e.stats.SQLTime = time.Since(sqlStart) - e.stats.SolverTime
+	if e.opts.NoEagerPrune {
+		if err := e.finalPrune(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// delta is the per-round set of newly derived tuples for the recursive
+// predicates of a stratum.
+type delta map[string][]ctable.Tuple
+
+func (e *engine) evalStratum(rules []Rule, recursive map[string]bool) error {
+	for _, r := range rules {
+		e.store.Ensure(r.Head.Pred, len(r.Head.Args))
+	}
+	cur := delta{}
+	sink := func(pred string, tp ctable.Tuple) {
+		cur[pred] = append(cur[pred], tp)
+	}
+	// Round zero: evaluate every rule in full.
+	for _, r := range rules {
+		if err := e.deriveRule(r, -1, nil, sink); err != nil {
+			return err
+		}
+	}
+	for iter := 0; len(cur) > 0; iter++ {
+		e.stats.Iterations++
+		if iter >= e.opts.maxIters() {
+			return fmt.Errorf("faurelog: fixpoint did not converge within %d iterations", e.opts.maxIters())
+		}
+		prev := cur
+		cur = delta{}
+		for _, r := range rules {
+			for i, a := range r.Body {
+				if a.Neg || !recursive[a.Pred] {
+					continue
+				}
+				d := prev[a.Pred]
+				if len(d) == 0 {
+					continue
+				}
+				if err := e.deriveRule(r, i, d, sink); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// deriveRule joins the rule body — with the deltaIdx-th literal
+// (an index into r.Body) restricted to deltaTuples when deltaIdx >= 0
+// — and inserts the resulting head tuples. Newly inserted tuples are
+// reported to sink.
+//
+// The body is evaluated positives-first so that every negated
+// literal's variables are bound before it is reached, whatever order
+// the rule was written in (safety is validated, so the reordering
+// always succeeds).
+func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple)) error {
+	ordered := r
+	if reordered, mapped := reorderBody(r, deltaIdx); reordered != nil {
+		ordered.Body = reordered
+		deltaIdx = mapped
+	}
+	// Join the delta literal first: its tuples are a plain slice, so
+	// leaving it deep in the join would make every outer combination
+	// scan it linearly, while putting it first lets the remaining
+	// literals use index probes on the variables it binds.
+	if deltaIdx > 0 {
+		body := make([]Atom, 0, len(ordered.Body))
+		body = append(body, ordered.Body[deltaIdx])
+		body = append(body, ordered.Body[:deltaIdx]...)
+		body = append(body, ordered.Body[deltaIdx+1:]...)
+		ordered.Body = body
+		deltaIdx = 0
+	}
+	bind := map[string]cond.Term{}
+	conds := make([]*cond.Formula, 0, len(ordered.Body)+len(ordered.Comps)+1)
+	var srcs []Source
+	if e.trace != nil {
+		srcs = make([]Source, 0, len(ordered.Body))
+	}
+	return e.join(ordered, 0, bind, conds, srcs, deltaIdx, deltaTuples, sink)
+}
+
+// reorderBody moves negated literals after the positive ones (stable
+// within each group) and remaps the delta index. It returns (nil, _)
+// when the body is already in order.
+func reorderBody(r Rule, deltaIdx int) ([]Atom, int) {
+	inOrder := true
+	seenNeg := false
+	for _, a := range r.Body {
+		if a.Neg {
+			seenNeg = true
+		} else if seenNeg {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		return nil, deltaIdx
+	}
+	out := make([]Atom, 0, len(r.Body))
+	mapped := deltaIdx
+	for i, a := range r.Body {
+		if !a.Neg {
+			if i == deltaIdx {
+				mapped = len(out)
+			}
+			out = append(out, a)
+		}
+	}
+	for _, a := range r.Body {
+		if a.Neg {
+			out = append(out, a)
+		}
+	}
+	return out, mapped
+}
+
+func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple)) error {
+	if i == len(r.Body) {
+		return e.emit(r, bind, conds, srcs, sink)
+	}
+	a := r.Body[i]
+	if a.Neg {
+		f, pattern, err := e.negationCondition(a, bind)
+		if err != nil {
+			return err
+		}
+		if f.IsFalse() {
+			return nil
+		}
+		next := srcs
+		if e.trace != nil {
+			next = append(srcs, Source{Pred: a.Pred, Tuple: ctable.NewTuple(pattern, f), Negated: true})
+		}
+		return e.join(r, i+1, bind, append(conds, f), next, deltaIdx, deltaTuples, sink)
+	}
+
+	tryTuple := func(tp ctable.Tuple) error {
+		extra, undo, ok := e.matchAtom(a, tp, bind)
+		if !ok {
+			return nil
+		}
+		next := append(conds, tp.Condition())
+		if !extra.IsTrue() {
+			next = append(next, extra)
+		}
+		nextSrcs := srcs
+		if e.trace != nil {
+			nextSrcs = append(srcs, Source{Pred: a.Pred, Tuple: tp})
+		}
+		if err := e.join(r, i+1, bind, next, nextSrcs, deltaIdx, deltaTuples, sink); err != nil {
+			return err
+		}
+		for _, v := range undo {
+			delete(bind, v)
+		}
+		return nil
+	}
+	if i == deltaIdx {
+		for _, tp := range deltaTuples {
+			if err := tryTuple(tp); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	rel := e.store.Rel(a.Pred)
+	if rel == nil {
+		return nil
+	}
+	for _, idx := range e.candidateIdxs(rel, a, bind) {
+		if err := tryTuple(rel.Tuple(idx)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// candidateIdxs narrows the tuples to scan for a body literal using
+// the store's hash indexes: the first argument position that is a
+// constant (literal or already-bound variable) is probed. A matching
+// c-variable at that position is still a candidate (it may equal the
+// constant under a condition), so probes include the per-column
+// c-variable list.
+func (e *engine) candidateIdxs(rel *relstore.Relation, a Atom, bind map[string]cond.Term) []int {
+	if e.opts.NoIndex {
+		return rel.All()
+	}
+	for col, t := range a.Args {
+		var key cond.Term
+		switch t.Kind {
+		case TConst:
+			key = t.Const
+		case TVar:
+			b, ok := bind[t.Name]
+			if !ok || b.IsCVar() {
+				continue
+			}
+			key = b
+		default:
+			continue
+		}
+		return rel.Candidates(col, key)
+	}
+	return rel.All()
+}
+
+// matchAtom implements the c-valuation v^C for one body literal
+// against one tuple: program variables bind to the tuple's c-domain
+// symbols; constants match themselves directly or any c-variable via
+// an emitted equality; rule c-variables match themselves directly or
+// any other symbol via an emitted equality. It returns the emitted
+// condition, the variables newly bound (for backtracking), and whether
+// the match is syntactically possible at all.
+func (e *engine) matchAtom(a Atom, tp ctable.Tuple, bind map[string]cond.Term) (*cond.Formula, []string, bool) {
+	var undo []string
+	fail := func() (*cond.Formula, []string, bool) {
+		for _, v := range undo {
+			delete(bind, v)
+		}
+		return nil, nil, false
+	}
+	extras := make([]*cond.Formula, 0, 2)
+	for i, t := range a.Args {
+		v := tp.Values[i]
+		switch t.Kind {
+		case TConst:
+			if v.IsConst() {
+				if !t.Const.Equal(v) {
+					return fail()
+				}
+				continue
+			}
+			extras = append(extras, cond.Compare(v, cond.Eq, t.Const))
+		case TCVar:
+			s := cond.CVar(t.Name)
+			if s.Equal(v) {
+				continue
+			}
+			extras = append(extras, cond.Compare(s, cond.Eq, v))
+		case TVar:
+			if b, ok := bind[t.Name]; ok {
+				if b.Equal(v) {
+					continue
+				}
+				if b.IsConst() && v.IsConst() {
+					return fail()
+				}
+				extras = append(extras, cond.Compare(b, cond.Eq, v))
+				continue
+			}
+			bind[t.Name] = v
+			undo = append(undo, t.Name)
+		}
+	}
+	f := cond.And(extras...)
+	if f.IsFalse() {
+		return fail()
+	}
+	return f, undo, true
+}
+
+// negationCondition computes the "not derivable" condition for a
+// negated literal under the current bindings: the negation of the
+// disjunction, over every tuple of the relation, of the equalities
+// that would make the tuple match, conjoined with the tuple's own
+// condition. An empty or missing relation yields true.
+func (e *engine) negationCondition(a Atom, bind map[string]cond.Term) (*cond.Formula, []cond.Term, error) {
+	pattern := make([]cond.Term, len(a.Args))
+	for i, t := range a.Args {
+		switch t.Kind {
+		case TVar:
+			b, ok := bind[t.Name]
+			if !ok {
+				return nil, nil, fmt.Errorf("faurelog: unbound variable %s in negated literal %v", t.Name, a)
+			}
+			pattern[i] = b
+		default:
+			pattern[i] = t.Symbol()
+		}
+	}
+	rel := e.store.Rel(a.Pred)
+	if rel == nil {
+		return cond.True(), pattern, nil
+	}
+	var matches []*cond.Formula
+	for _, idx := range rel.All() {
+		tp := rel.Tuple(idx)
+		eqs := make([]*cond.Formula, 0, len(pattern)+1)
+		possible := true
+		for i, pv := range pattern {
+			tv := tp.Values[i]
+			if pv.IsConst() && tv.IsConst() {
+				if !pv.Equal(tv) {
+					possible = false
+					break
+				}
+				continue
+			}
+			if pv.Equal(tv) {
+				continue
+			}
+			eqs = append(eqs, cond.Compare(pv, cond.Eq, tv))
+		}
+		if !possible {
+			continue
+		}
+		eqs = append(eqs, tp.Condition())
+		matches = append(matches, cond.And(eqs...))
+	}
+	return cond.Not(cond.Or(matches...)), pattern, nil
+}
+
+// emit instantiates the rule head under the completed bindings,
+// attaches the accumulated and explicit conditions, prunes and dedups,
+// and inserts the tuple.
+func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source, sink func(string, ctable.Tuple)) error {
+	all := append([]*cond.Formula(nil), conds...)
+	for _, c := range r.Comps {
+		f, err := instantiateComparison(c, bind)
+		if err != nil {
+			return err
+		}
+		all = append(all, f)
+	}
+	if r.HeadCond != nil {
+		f, err := r.HeadCond.instantiate(bind)
+		if err != nil {
+			return err
+		}
+		all = append(all, f)
+	}
+	condition := cond.And(all...)
+	if condition.IsFalse() {
+		e.stats.Pruned++
+		return nil
+	}
+	values := make([]cond.Term, len(r.Head.Args))
+	for i, t := range r.Head.Args {
+		switch t.Kind {
+		case TVar:
+			b, ok := bind[t.Name]
+			if !ok {
+				return fmt.Errorf("faurelog: unbound head variable %s in %v", t.Name, r)
+			}
+			values[i] = b
+		default:
+			values[i] = t.Symbol()
+		}
+	}
+	tp := ctable.NewTuple(values, condition)
+
+	pred := r.Head.Pred
+	seen := e.seen[pred]
+	if seen == nil {
+		seen = map[[2]uint64]struct{}{}
+		e.seen[pred] = seen
+	}
+	key := hashKey(tp.Key())
+	if _, dup := seen[key]; dup {
+		return nil
+	}
+	seen[key] = struct{}{}
+
+	if !e.opts.NoEagerPrune {
+		sat, err := e.timedSat(condition)
+		if err != nil {
+			return err
+		}
+		if !sat {
+			e.stats.Pruned++
+			return nil
+		}
+	}
+
+	if !e.opts.NoAbsorb {
+		dataKey := tp.DataKey()
+		byData := e.conds[pred]
+		if byData == nil {
+			byData = map[string][]*cond.Formula{}
+			e.conds[pred] = byData
+		}
+		if existing := byData[dataKey]; len(existing) > 0 {
+			implied, err := e.timedImplies(condition, cond.Or(existing...))
+			if err != nil {
+				return err
+			}
+			if implied {
+				e.stats.Absorbed++
+				return nil
+			}
+		}
+		byData[dataKey] = append(byData[dataKey], condition)
+	}
+
+	rel := e.store.Ensure(pred, len(values))
+	if err := rel.Insert(tp); err != nil {
+		return err
+	}
+	e.stats.Derived++
+	if e.trace != nil {
+		d := Derivation{Rule: r.String(), Sources: make([]Source, len(srcs))}
+		copy(d.Sources, srcs)
+		e.trace[traceKey(pred, tp)] = d
+	}
+	sink(pred, tp)
+	return nil
+}
+
+// finalPrune removes contradictory tuples from the derived relations
+// (used when eager pruning is off).
+func (e *engine) finalPrune() error {
+	for _, pred := range e.derivedOrder {
+		rel := e.store.Rel(pred)
+		if rel == nil {
+			continue
+		}
+		kept := relstore.NewRelation(pred, e.arity[pred])
+		for _, idx := range rel.All() {
+			tp := rel.Tuple(idx)
+			sat, err := e.timedSat(tp.Condition())
+			if err != nil {
+				return err
+			}
+			if !sat {
+				e.stats.Pruned++
+				continue
+			}
+			if err := kept.Insert(tp); err != nil {
+				return err
+			}
+		}
+		e.replaceRel(pred, kept)
+	}
+	return nil
+}
+
+func (e *engine) replaceRel(pred string, rel *relstore.Relation) {
+	// Store has no delete; Ensure then overwrite via a fresh map would
+	// complicate the API, so we rebuild through reflection-free means:
+	// relstore exposes Ensure which returns the existing relation, so
+	// swap by rebuilding the store entry.
+	e.store.Replace(pred, rel)
+}
+
+func (e *engine) result() (*Result, error) {
+	out := e.db.Clone()
+	for _, pred := range append(append([]string{}, e.extraExport...), e.derivedOrder...) {
+		rel := e.store.Rel(pred)
+		if rel == nil {
+			continue
+		}
+		var attrs []string
+		if t := e.db.Table(pred); t != nil {
+			attrs = t.Schema.Attrs
+		}
+		out.AddTable(rel.Table(attrs))
+	}
+	return &Result{DB: out, Stats: e.stats, trace: e.trace}, nil
+}
+
+// Stratify orders the program's IDB predicates for evaluation: it
+// computes the strongly connected components of the positive/negative
+// dependency graph and returns them in topological order (dependencies
+// first), so that each returned group is exactly one recursion clique.
+// Negation inside a component (negation through recursion) is
+// rejected. Finer grouping than classic negation-layering means
+// non-recursive rules never ride a fixpoint loop they do not need.
+func Stratify(p *Program) ([][]string, error) {
+	idb := p.IDB()
+	type edge struct {
+		to  string
+		neg bool
+	}
+	// Edges point dependency → dependent (body pred → head pred).
+	adj := map[string][]edge{}
+	var preds []string
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		if !seen[r.Head.Pred] {
+			seen[r.Head.Pred] = true
+			preds = append(preds, r.Head.Pred)
+		}
+	}
+	for _, r := range p.Rules {
+		for _, a := range r.Body {
+			if idb[a.Pred] {
+				adj[a.Pred] = append(adj[a.Pred], edge{to: r.Head.Pred, neg: a.Neg})
+			}
+		}
+	}
+
+	// Tarjan's SCC over the predicate graph.
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	comp := map[string]int{}
+	nComp := 0
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.to
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range preds {
+		if _, ok := index[v]; !ok {
+			strong(v)
+		}
+	}
+
+	// Negation must cross components.
+	for from, es := range adj {
+		for _, e := range es {
+			if e.neg && comp[from] == comp[e.to] {
+				return nil, fmt.Errorf("faurelog: program is not stratifiable (negation through recursion between %s and %s)", from, e.to)
+			}
+		}
+	}
+
+	// Tarjan emits components in reverse topological order of the
+	// condensation for edges dependency→dependent; a component's
+	// dependencies therefore have LOWER component numbers... they do
+	// not in general, so order explicitly: Kahn over the condensation.
+	depCount := make([]int, nComp)
+	compAdj := make([][]int, nComp)
+	edgeSeen := map[[2]int]bool{}
+	for from, es := range adj {
+		for _, e := range es {
+			a, b := comp[from], comp[e.to]
+			if a == b || edgeSeen[[2]int{a, b}] {
+				continue
+			}
+			edgeSeen[[2]int{a, b}] = true
+			compAdj[a] = append(compAdj[a], b)
+			depCount[b]++
+		}
+	}
+	members := make([][]string, nComp)
+	for _, v := range preds {
+		c := comp[v]
+		members[c] = append(members[c], v)
+	}
+	var queue []int
+	for c := 0; c < nComp; c++ {
+		if depCount[c] == 0 {
+			queue = append(queue, c)
+		}
+	}
+	var strata [][]string
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		strata = append(strata, members[c])
+		for _, d := range compAdj[c] {
+			depCount[d]--
+			if depCount[d] == 0 {
+				queue = append(queue, d)
+			}
+		}
+	}
+	if len(strata) != nComp {
+		return nil, fmt.Errorf("faurelog: internal error: condensation ordering incomplete")
+	}
+	return strata, nil
+}
+
+// hashKey folds a dedup key into 128 bits (two FNV-64 passes with
+// distinct seeds), trading an astronomically small collision risk for
+// not retaining millions of key strings.
+func hashKey(key string) [2]uint64 {
+	h1 := fnv.New64a()
+	h1.Write([]byte(key))
+	h2 := fnv.New64()
+	h2.Write([]byte(key))
+	return [2]uint64{h1.Sum64(), h2.Sum64()}
+}

@@ -1,0 +1,529 @@
+package faurelog
+
+import (
+	"strings"
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/solver"
+)
+
+// TestMutualRecursion: two predicates defined in terms of each other
+// (same stratum) reach the fixpoint.
+func TestMutualRecursion(t *testing.T) {
+	db, err := ParseDatabase(`
+		num(0). num(1). num(2). num(3). num(4). num(5).
+		succ(0, 1). succ(1, 2). succ(2, 3). succ(3, 4). succ(4, 5).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblEven := evalOne(t, `
+		even(0).
+		even(y) :- odd(x), succ(x, y).
+		odd(y) :- even(x), succ(x, y).
+	`, "even", db)
+	got := map[string]bool{}
+	for _, tp := range tblEven.Tuples {
+		got[tp.Values[0].String()] = true
+	}
+	for _, want := range []string{"0", "2", "4"} {
+		if !got[want] {
+			t.Errorf("missing even(%s); got %v", want, got)
+		}
+	}
+	for _, bad := range []string{"1", "3", "5"} {
+		if got[bad] {
+			t.Errorf("spurious even(%s)", bad)
+		}
+	}
+}
+
+// TestTwoRecursiveLiterals: a rule with two occurrences of the
+// recursive predicate (non-linear recursion) still converges.
+func TestTwoRecursiveLiterals(t *testing.T) {
+	db, err := ParseDatabase(`
+		link(1, 2). link(2, 3). link(3, 4). link(4, 5).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- reach(x, y), reach(y, z).
+	`, "reach", db)
+	if tbl.Len() != 10 {
+		t.Errorf("closure of a 5-chain should have 10 pairs, got %d", tbl.Len())
+	}
+}
+
+// TestNegationBeforeBinder: a rule written with the negated literal
+// first must still evaluate (the engine reorders positives first).
+func TestNegationBeforeBinder(t *testing.T) {
+	db, err := ParseDatabase(`
+		r(A). r(B).
+		s(A).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(x) :- not s(x), r(x).`, "q", db)
+	if tbl.Len() != 1 || !tbl.Tuples[0].Values[0].Equal(cond.Str("B")) {
+		t.Errorf("expected q(B), got %v", tbl)
+	}
+}
+
+// TestNegationOverDerivedConditioned: negation over an IDB predicate
+// whose tuples carry conditions produces the negated disjunction.
+func TestNegationOverDerivedConditioned(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		base(A)[$x = 1].
+		all(A). all(B).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `
+		d(v) :- base(v).
+		q(v) :- all(v), not d(v).
+	`, "q", db)
+	s := solver.New(db.Doms)
+	conds := map[string]*cond.Formula{}
+	for _, tp := range tbl.Tuples {
+		conds[tp.Values[0].String()] = tp.Condition()
+	}
+	// q(B) always (d never derives B); q(A) exactly when $x = 0.
+	if c, ok := conds["B"]; !ok || !c.IsTrue() {
+		t.Errorf("q(B) should be unconditional, got %v", conds["B"])
+	}
+	wantA := cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(0))
+	eq, err := s.Equivalent(conds["A"], wantA)
+	if err != nil || !eq {
+		t.Errorf("q(A) condition %v, want equivalent to %v", conds["A"], wantA)
+	}
+}
+
+// TestZeroAryPredicates: 0-ary heads and bodies work (panic queries).
+func TestZeroAryPredicates(t *testing.T) {
+	db, err := ParseDatabase(`r(A).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `
+		hit() :- r(A).
+		alarm() :- hit().
+	`, "alarm", db)
+	if tbl.Len() != 1 || len(tbl.Tuples[0].Values) != 0 {
+		t.Errorf("alarm() not derived: %v", tbl)
+	}
+}
+
+// TestHeadCVar: c-variables in rule heads survive into derived tuples.
+func TestHeadCVar(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $p.
+		r(A).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(x, $p) :- r(x).`, "q", db)
+	if tbl.Len() != 1 || !tbl.Tuples[0].Values[1].Equal(cond.CVar("p")) {
+		t.Errorf("head c-var lost: %v", tbl)
+	}
+}
+
+// TestEvalQueryUnknownPredicate is the documented error path.
+func TestEvalQueryUnknownPredicate(t *testing.T) {
+	db, _ := ParseDatabase(`r(A).`)
+	prog := MustParse(`q(x) :- r(x).`)
+	if _, _, err := EvalQuery(prog, db, "nope", Options{}); err == nil {
+		t.Errorf("unknown predicate should error")
+	}
+}
+
+// TestMaxIterations: an artificially tiny bound triggers the
+// non-convergence error on a recursive program.
+func TestMaxIterations(t *testing.T) {
+	db, err := ParseDatabase(`
+		link(1, 2). link(2, 3). link(3, 4). link(4, 5). link(5, 6).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+	`)
+	if _, err := Eval(prog, db, Options{MaxIterations: 1}); err == nil {
+		t.Errorf("iteration bound should trigger")
+	}
+	if _, err := Eval(prog, db, Options{MaxIterations: 50}); err != nil {
+		t.Errorf("ample bound should converge: %v", err)
+	}
+}
+
+// TestStatsAdd covers the accumulator.
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Derived: 1, Pruned: 2, Absorbed: 3, Iterations: 4, SatCalls: 5}
+	b := Stats{Derived: 10, Pruned: 20, Absorbed: 30, Iterations: 40, SatCalls: 50}
+	a.Add(b)
+	if a.Derived != 11 || a.Pruned != 22 || a.Absorbed != 33 || a.Iterations != 44 || a.SatCalls != 55 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+}
+
+// TestAbsorptionCountsAndEffect: deriving the same data part under a
+// strictly weaker condition gets absorbed.
+func TestAbsorptionCountsAndEffect(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		a(V).
+		b(V)[$x = 1].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rule 1 derives q(V) under true; rule 2 under $x = 1 (implied).
+	prog := MustParse(`
+		q(v) :- a(v).
+		q(v) :- b(v).
+	`)
+	res, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DB.Table("q").Len() != 1 {
+		t.Errorf("weaker derivation should be absorbed, got %v", res.DB.Table("q"))
+	}
+	if res.Stats.Absorbed != 1 {
+		t.Errorf("Absorbed = %d, want 1", res.Stats.Absorbed)
+	}
+	// With absorption off both tuples remain.
+	res2, err := Eval(prog, db, Options{NoAbsorb: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.DB.Table("q").Len() != 2 {
+		t.Errorf("NoAbsorb should keep both tuples, got %v", res2.DB.Table("q"))
+	}
+}
+
+// TestDerivedShadowsInput: a program deriving into a name that also
+// exists as input shadows it in the result (documented behaviour).
+func TestDerivedShadowsInput(t *testing.T) {
+	db, err := ParseDatabase(`
+		r(Old).
+		s(New).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`r(x) :- s(x).`)
+	res, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.DB.Table("r")
+	// The derived relation includes the input tuples (the input r is
+	// part of the EDB the rules read) plus the new derivation.
+	keys := map[string]bool{}
+	for _, tp := range tbl.Tuples {
+		keys[tp.DataKey()] = true
+	}
+	if !keys["New"] {
+		t.Errorf("derived tuple missing: %v", keys)
+	}
+}
+
+// TestConditionKeysStableAcrossRuns: evaluation is deterministic.
+func TestConditionKeysStableAcrossRuns(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		var $y in {0, 1}.
+		link(1, 2)[$x = 1].
+		link(2, 3)[$y = 1].
+		link(1, 3)[$x = 0].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`
+		reach(a, b) :- link(a, b).
+		reach(a, c) :- link(a, b), reach(b, c).
+	`)
+	var first string
+	for i := 0; i < 5; i++ {
+		res, err := Eval(prog, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for _, tp := range res.DB.Table("reach").Tuples {
+			keys = append(keys, tp.Key())
+		}
+		dump := strings.Join(keys, "\n")
+		if i == 0 {
+			first = dump
+		} else if dump != first {
+			t.Fatalf("run %d produced different output:\n%s\nvs\n%s", i, dump, first)
+		}
+	}
+}
+
+// TestReorderBodyMapping exercises the delta-index remapping.
+func TestReorderBodyMapping(t *testing.T) {
+	r := MustParse(`q(x) :- not s(x), r(x), t(x).`).Rules[0]
+	body, mapped := reorderBody(r, 1) // delta on r(x), originally index 1
+	if body == nil {
+		t.Fatalf("expected reordering")
+	}
+	if body[mapped].Pred != "r" {
+		t.Errorf("delta literal remapped to %v", body[mapped])
+	}
+	if !body[len(body)-1].Neg {
+		t.Errorf("negation should be last: %v", body)
+	}
+}
+
+// TestFormatDatabaseRoundTrip: FormatDatabase output parses back to an
+// equivalent database.
+func TestFormatDatabaseRoundTrip(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		var $y in {ABC, ADEC}.
+		var $u.
+		fwd(F0, 1, 2)[$x = 1].
+		fwd(F0, 1, 3)[$x = 0 && ($y = ABC || $y = ADEC)].
+		pi('1.2.3.4', $u)[$u != 'lower case'].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatDatabase(db)
+	again, err := ParseDatabase(text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\n%s", err, text)
+	}
+	if FormatDatabase(again) != text {
+		t.Errorf("format not stable:\n%s\nvs\n%s", text, FormatDatabase(again))
+	}
+	// Same domains.
+	if len(again.Doms) != len(db.Doms) {
+		t.Errorf("domains lost: %v vs %v", again.Doms, db.Doms)
+	}
+	// Same tuples per table (by canonical key).
+	for name, tbl := range db.Tables {
+		at := again.Table(name)
+		if at == nil || at.Len() != tbl.Len() {
+			t.Fatalf("table %s mismatch", name)
+		}
+		for i := range tbl.Tuples {
+			if tbl.Tuples[i].Key() != at.Tuples[i].Key() {
+				t.Errorf("table %s tuple %d: %s vs %s", name, i, tbl.Tuples[i].Key(), at.Tuples[i].Key())
+			}
+		}
+	}
+}
+
+// TestStratifySCCOrdering: strata are SCCs in dependency order, so a
+// non-recursive consumer of a recursive predicate lands in its own
+// later stratum.
+func TestStratifySCCOrdering(t *testing.T) {
+	prog := MustParse(`
+		reach(a, b) :- link(a, b).
+		reach(a, c) :- link(a, b), reach(b, c).
+		cut(a, b) :- reach(a, b), $x = 1.
+		seed(a) :- start(a).
+	`)
+	strata, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, group := range strata {
+		for _, p := range group {
+			pos[p] = i
+		}
+	}
+	if pos["cut"] <= pos["reach"] {
+		t.Errorf("cut must come after reach: %v", strata)
+	}
+	// Each group here is a single predicate (no mutual recursion).
+	for _, group := range strata {
+		if len(group) != 1 {
+			t.Errorf("unexpected multi-predicate stratum: %v", group)
+		}
+	}
+}
+
+// TestStratifyMutualRecursionGroup: mutually recursive predicates
+// share one stratum.
+func TestStratifyMutualRecursionGroup(t *testing.T) {
+	prog := MustParse(`
+		even(0).
+		even(y) :- odd(x), succ(x, y).
+		odd(y) :- even(x), succ(x, y).
+		report(x) :- even(x).
+	`)
+	strata, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evenOdd, report int = -1, -1
+	for i, group := range strata {
+		set := map[string]bool{}
+		for _, p := range group {
+			set[p] = true
+		}
+		if set["even"] && set["odd"] {
+			evenOdd = i
+		}
+		if set["report"] {
+			report = i
+		}
+		if set["even"] != set["odd"] {
+			t.Errorf("even and odd must share a stratum: %v", strata)
+		}
+	}
+	if evenOdd == -1 || report == -1 || report <= evenOdd {
+		t.Errorf("report must follow the even/odd clique: %v", strata)
+	}
+}
+
+// TestTraceExplain: traced evaluation reconstructs derivation trees.
+func TestTraceExplain(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		link(1, 2)[$x = 1].
+		link(2, 3).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`
+		reach(a, b) :- link(a, b).
+		reach(a, c) :- link(a, b), reach(b, c).
+	`)
+	res, err := Eval(prog, db, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Traced() {
+		t.Fatalf("trace not recorded")
+	}
+	// Find reach(1, 3) and explain it: derived from link(1,2) and
+	// reach(2,3), which in turn comes from link(2,3).
+	var target ctable.Tuple
+	found := false
+	for _, tp := range res.DB.Table("reach").Tuples {
+		if tp.Values[0].Equal(cond.Int(1)) && tp.Values[1].Equal(cond.Int(3)) {
+			target, found = tp, true
+		}
+	}
+	if !found {
+		t.Fatalf("reach(1,3) missing")
+	}
+	e := res.Explain("reach", target)
+	if e == nil || e.Rule == "" {
+		t.Fatalf("no explanation for reach(1,3): %v", e)
+	}
+	out := e.String()
+	for _, frag := range []string{"reach(1, 3)", "link(1, 2)", "reach(2, 3)", "link(2, 3)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("explanation missing %q:\n%s", frag, out)
+		}
+	}
+	// EDB facts are leaves.
+	leaf := res.Explain("link", db.Table("link").Tuples[1])
+	if leaf == nil || leaf.Rule != "" || len(leaf.Children) != 0 {
+		t.Errorf("EDB fact should be a leaf: %+v", leaf)
+	}
+	// Untraced runs return nil.
+	res2, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Explain("reach", target) != nil || res2.Traced() {
+		t.Errorf("untraced run should not explain")
+	}
+}
+
+// TestTraceNegation: negated sources appear as annotated leaves.
+func TestTraceNegation(t *testing.T) {
+	db, err := ParseDatabase(`
+		r(A). r(B).
+		s(A).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`q(x) :- r(x), not s(x).`)
+	res, err := Eval(prog, db, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps := res.ExplainAll("q")
+	if len(exps) != 1 {
+		t.Fatalf("expected one explanation, got %d", len(exps))
+	}
+	out := exps[0].String()
+	if !strings.Contains(out, "not s(") {
+		t.Errorf("negated source missing:\n%s", out)
+	}
+}
+
+// TestResultTableAndParseError covers small accessors.
+func TestResultTableAndParseError(t *testing.T) {
+	db, _ := ParseDatabase(`r(A).`)
+	prog := MustParse(`q(x) :- r(x).`)
+	res, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table("q") == nil || res.Table("nope") != nil {
+		t.Errorf("Result.Table accessor wrong")
+	}
+	_, perr := Parse(`q(x :- r(x).`)
+	if perr == nil {
+		t.Fatal("expected parse error")
+	}
+	var pe *ParseError
+	if !errorsAs(perr, &pe) {
+		t.Fatalf("error should be a *ParseError, got %T", perr)
+	}
+	if pe.Error() == "" || pe.Unwrap() == nil {
+		t.Errorf("ParseError accessors wrong")
+	}
+}
+
+// errorsAs avoids importing errors for one call in this file.
+func errorsAs(err error, target **ParseError) bool {
+	for err != nil {
+		if pe, ok := err.(*ParseError); ok {
+			*target = pe
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestAllComparisonOperatorsParse covers the operator table.
+func TestAllComparisonOperatorsParse(t *testing.T) {
+	for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+		src := "q(x) :- r(x), x " + op + " 1."
+		if _, err := Parse(src); err != nil {
+			t.Errorf("operator %s failed: %v", op, err)
+		}
+	}
+	if _, err := Parse(`q(x) :- r(x), x + 1.`); err == nil {
+		t.Errorf("comparison without operator should fail")
+	}
+}

@@ -1,0 +1,566 @@
+package faurelog
+
+import (
+	"strings"
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/solver"
+)
+
+// paperPath builds the PATH' database of Table 2: the c-table Pⁱ plus
+// the regular table C.
+//
+//	Pⁱ dest     path
+//	   1.2.3.4  $x     [$x = ABC || $x = ADEC]
+//	   $y       ABE    [$y != 1.2.3.4]
+//	   1.2.3.6  ADEC
+//
+//	C  path  cost
+//	   ABC   3
+//	   ADEC  4
+//	   ABE   3
+func paperPath(t *testing.T) *ctable.Database {
+	t.Helper()
+	db, err := ParseDatabase(`
+		var $x in {ABC, ADEC, ABE}.
+		var $y.
+		pi('1.2.3.4', $x)[$x = ABC || $x = ADEC].
+		pi($y, ABE)[$y != '1.2.3.4'].
+		pi('1.2.3.6', ADEC).
+		c(ABC, 3).
+		c(ADEC, 4).
+		c(ABE, 3).
+	`)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	return db
+}
+
+func evalOne(t *testing.T, src, pred string, db *ctable.Database) *ctable.Table {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	tbl, _, err := EvalQuery(prog, db, pred, Options{})
+	if err != nil {
+		t.Fatalf("EvalQuery: %v", err)
+	}
+	return tbl
+}
+
+// TestPaperTable2Q2 reproduces q2: the query over the c-table yields
+// cost 3 under $x = ABC and cost 4 under $x = ADEC.
+func TestPaperTable2Q2(t *testing.T) {
+	db := paperPath(t)
+	tbl := evalOne(t, `q2(cost) :- pi('1.2.3.4', y), c(y, cost).`, "q2", db)
+	s := solver.New(db.Doms)
+
+	found := map[int64]*cond.Formula{}
+	for _, tp := range tbl.Tuples {
+		if len(tp.Values) != 1 || !tp.Values[0].IsInt() {
+			t.Fatalf("unexpected tuple %v", tp)
+		}
+		c := found[tp.Values[0].I]
+		if c == nil {
+			c = cond.False()
+		}
+		found[tp.Values[0].I] = cond.Or(c, tp.Condition())
+	}
+	if len(found) != 2 {
+		t.Fatalf("q2 should derive costs {3, 4}, got %v", found)
+	}
+	x := cond.CVar("x")
+	for cost, want := range map[int64]*cond.Formula{
+		3: cond.Compare(x, cond.Eq, cond.Str("ABC")),
+		4: cond.Compare(x, cond.Eq, cond.Str("ADEC")),
+	} {
+		got, ok := found[cost]
+		if !ok {
+			t.Fatalf("missing cost %d", cost)
+		}
+		eq, err := s.Equivalent(got, want)
+		if err != nil {
+			t.Fatalf("Equivalent: %v", err)
+		}
+		if !eq {
+			t.Errorf("cost %d condition %v not equivalent to %v", cost, got, want)
+		}
+	}
+}
+
+// TestPaperTable2Q3 reproduces q3: implicit pattern matching against
+// the c-variable $y derives cost 3 for destination 1.2.3.5.
+func TestPaperTable2Q3(t *testing.T) {
+	db := paperPath(t)
+	tbl := evalOne(t, `q3(cost) :- pi('1.2.3.5', y), c(y, cost).`, "q3", db)
+	if tbl.Len() != 1 {
+		t.Fatalf("q3 should derive exactly one tuple, got %d: %v", tbl.Len(), tbl)
+	}
+	tp := tbl.Tuples[0]
+	if !tp.Values[0].Equal(cond.Int(3)) {
+		t.Errorf("q3 answer should be 3, got %v", tp.Values[0])
+	}
+	// The condition must be satisfiable ($y = 1.2.3.5 is consistent
+	// with $y != 1.2.3.4) and must force $y = 1.2.3.5.
+	s := solver.New(db.Doms)
+	sat, err := s.Satisfiable(tp.Condition())
+	if err != nil || !sat {
+		t.Errorf("q3 condition should be satisfiable: %v (%v)", tp.Condition(), err)
+	}
+	forced, err := s.Implies(tp.Condition(), cond.Compare(cond.CVar("y"), cond.Eq, cond.Str("1.2.3.5")))
+	if err != nil || !forced {
+		t.Errorf("q3 condition should force $y = 1.2.3.5, got %v", tp.Condition())
+	}
+}
+
+// TestPaperTable2Q3Contradiction: querying for 1.2.3.4 against the
+// second tuple would need $y = 1.2.3.4, contradicting its condition;
+// only the first tuple contributes.
+func TestPaperTable2Q1Equivalent(t *testing.T) {
+	db := paperPath(t)
+	tbl := evalOne(t, `q1(cost) :- pi('1.2.3.4', y), c(y, cost).`, "q1", db)
+	s := solver.New(db.Doms)
+	for _, tp := range tbl.Tuples {
+		if ok, err := s.Implies(tp.Condition(), cond.Compare(cond.CVar("y"), cond.Eq, cond.Str("1.2.3.4"))); err == nil && ok {
+			sat, _ := s.Satisfiable(tp.Condition())
+			if sat {
+				t.Errorf("tuple via $y should be contradictory, got %v", tp)
+			}
+		}
+	}
+}
+
+func TestExplicitCVarInRule(t *testing.T) {
+	// Referencing the database c-variable $x in the rule emits the
+	// equality explicitly (the paper's q2 written with c-vars).
+	db := paperPath(t)
+	tbl := evalOne(t, `q(cost) :- pi('1.2.3.4', $x), c($x, cost).`, "q", db)
+	if tbl.Len() != 2 {
+		t.Fatalf("expected 2 tuples, got %d:\n%v", tbl.Len(), tbl)
+	}
+}
+
+func TestConstantMatchEmitsEquality(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $v.
+		r($v, 1).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q() :- r(A, 1).`, "q", db)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected panic-style derivation, got %d", tbl.Len())
+	}
+	want := cond.Compare(cond.CVar("v"), cond.Eq, cond.Str("A"))
+	if !tbl.Tuples[0].Condition().Equal(want) {
+		t.Errorf("condition = %v, want %v", tbl.Tuples[0].Condition(), want)
+	}
+}
+
+func TestNegationNotDerivable(t *testing.T) {
+	// fw holds ($a, $b) only when $a = Mkt; not fw(Mkt, CS) must carry
+	// the negated matching condition.
+	db, err := ParseDatabase(`
+		var $a.
+		var $b.
+		var $p.
+		r(Mkt, CS, $p).
+		fw($a, $b)[$a = Mkt].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `panic() :- r(Mkt, CS, p), not fw(Mkt, CS).`, "panic", db)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected one derivation, got %d", tbl.Len())
+	}
+	got := tbl.Tuples[0].Condition()
+	// Expected: !($a = Mkt && $b = CS && $a = Mkt) = !($a = Mkt && $b = CS)
+	s := solver.New(db.Doms)
+	want := cond.Not(cond.And(
+		cond.Compare(cond.CVar("a"), cond.Eq, cond.Str("Mkt")),
+		cond.Compare(cond.CVar("b"), cond.Eq, cond.Str("CS")),
+	))
+	eq, err := s.Equivalent(got, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("negation condition %v not equivalent to %v", got, want)
+	}
+}
+
+func TestNegationAgainstEmptyTable(t *testing.T) {
+	db, err := ParseDatabase(`r(A).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(x) :- r(x), not s(x).`, "q", db)
+	if tbl.Len() != 1 || !tbl.Tuples[0].Condition().IsTrue() {
+		t.Errorf("negation against a missing table should be unconditionally true, got %v", tbl)
+	}
+}
+
+func TestRecursionTransitiveClosure(t *testing.T) {
+	db, err := ParseDatabase(`
+		link(1, 2).
+		link(2, 3).
+		link(3, 4).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+	`, "reach", db)
+	if tbl.Len() != 6 {
+		t.Errorf("closure of a 4-chain should have 6 pairs, got %d:\n%v", tbl.Len(), tbl)
+	}
+}
+
+func TestRecursionWithCycleTerminates(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		link(1, 2)[$x = 1].
+		link(2, 1).
+		link(2, 3)[$x = 0].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+	`, "reach", db)
+	// Conditions along the 1↔2 cycle must not grow unboundedly; the
+	// fixpoint terminates by canonical conjunction dedup.
+	s := solver.New(db.Doms)
+	// 1 -> 3 requires $x = 1 (to use 1->2) and $x = 0 (to use 2->3):
+	// contradictory, so no satisfiable tuple (1, 3).
+	for _, tp := range tbl.Tuples {
+		if tp.Values[0].Equal(cond.Int(1)) && tp.Values[1].Equal(cond.Int(3)) {
+			sat, err := s.Satisfiable(tp.Condition())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sat {
+				t.Errorf("reach(1,3) should be contradictory, got %v", tp.Condition())
+			}
+		}
+	}
+}
+
+func TestComparisonLiteralSum(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		var $y in {0, 1}.
+		r(A)[$x = 1].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(v) :- r(v), $x+$y = 2.`, "q", db)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected 1 tuple, got %d", tbl.Len())
+	}
+	s := solver.New(db.Doms)
+	want := cond.And(
+		cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1)),
+		cond.Compare(cond.CVar("y"), cond.Eq, cond.Int(1)),
+	)
+	eq, err := s.Equivalent(tbl.Tuples[0].Condition(), want)
+	if err != nil || !eq {
+		t.Errorf("condition %v should be equivalent to %v (err %v)", tbl.Tuples[0].Condition(), want, err)
+	}
+}
+
+func TestComparisonPrunesContradiction(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		r(A)[$x = 1].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(v) :- r(v), $x = 0.`, "q", db)
+	if tbl.Len() != 0 {
+		t.Errorf("contradictory derivation should be pruned, got %v", tbl)
+	}
+}
+
+func TestHeadCondition(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		r(A).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(v) [$x = 1] :- r(v).`, "q", db)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected 1 tuple, got %d", tbl.Len())
+	}
+	want := cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1))
+	if !tbl.Tuples[0].Condition().Equal(want) {
+		t.Errorf("head condition = %v, want %v", tbl.Tuples[0].Condition(), want)
+	}
+}
+
+func TestVariableJoinAcrossCVars(t *testing.T) {
+	// Joining two relations on a variable that binds to a c-variable
+	// in one and a constant in the other emits the equality.
+	db, err := ParseDatabase(`
+		var $u.
+		r($u).
+		s(A).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `q(x) :- r(x), s(x).`, "q", db)
+	if tbl.Len() != 1 {
+		t.Fatalf("expected 1 tuple, got %d", tbl.Len())
+	}
+	want := cond.Compare(cond.CVar("u"), cond.Eq, cond.Str("A"))
+	if !tbl.Tuples[0].Condition().Equal(want) {
+		t.Errorf("join condition = %v, want %v", tbl.Tuples[0].Condition(), want)
+	}
+}
+
+func TestStratifiedNegationOrder(t *testing.T) {
+	db, err := ParseDatabase(`
+		link(1, 2).
+		link(2, 3).
+		node(1). node(2). node(3). node(4).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := evalOne(t, `
+		reach(x, y) :- link(x, y).
+		reach(x, z) :- link(x, y), reach(y, z).
+		unreachable(x) :- node(x), not reach(1, x).
+	`, "unreachable", db)
+	got := map[string]bool{}
+	for _, tp := range tbl.Tuples {
+		if tp.Condition().IsTrue() {
+			got[tp.Values[0].String()] = true
+		}
+	}
+	if !got["1"] || !got["4"] || got["2"] || got["3"] {
+		t.Errorf("unreachable should be {1, 4}, got %v", got)
+	}
+}
+
+func TestUnstratifiableProgram(t *testing.T) {
+	_, err := Parse(`
+		p(x) :- r(x), not q(x).
+		q(x) :- r(x), not p(x).
+	`)
+	if err != nil {
+		// Parse validates safety but not stratification; evaluation must
+		// catch it. Accept either failure point.
+		return
+	}
+	prog := MustParse(`
+		p(x) :- r(x), not q(x).
+		q(x) :- r(x), not p(x).
+	`)
+	db, _ := ParseDatabase(`r(A).`)
+	if _, err := Eval(prog, db, Options{}); err == nil {
+		t.Errorf("unstratifiable program should fail to evaluate")
+	}
+}
+
+func TestUnsafeRules(t *testing.T) {
+	bad := []string{
+		`q(x) :- r(y).`,              // unbound head variable
+		`q(x) :- r(x), not s(x, y).`, // unbound negated variable
+		`q(x) :- r(x), y = 1.`,       // unbound comparison variable
+		`q(x) [y = 1] :- r(x).`,      // unbound head-condition variable
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("program %q should be rejected as unsafe", src)
+		}
+	}
+}
+
+func TestArityMismatchRejected(t *testing.T) {
+	if _, err := Parse(`q(x) :- r(x), r(x, x).`); err == nil {
+		t.Errorf("inconsistent arity should be rejected")
+	}
+}
+
+func TestNestedQueryPipelining(t *testing.T) {
+	// q7 style: evaluate one program, feed its output to another.
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		r(1, 5)[$x = 1].
+		r(2, 5)[$x = 0].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := MustParse(`t1(a, b) :- r(a, b), $x = 1.`)
+	res1, err := Eval(first, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := MustParse(`t2(a) :- t1(a, 5).`)
+	res2, err := Eval(second, res1.DB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res2.DB.Table("t2")
+	if tbl.Len() != 1 || !tbl.Tuples[0].Values[0].Equal(cond.Int(1)) {
+		t.Errorf("nested query should keep only (1), got %v", tbl)
+	}
+}
+
+func TestOptionsEquivalence(t *testing.T) {
+	// All option combinations must produce semantically identical
+	// results (same satisfiable data parts with equivalent
+	// conditions).
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		var $y in {0, 1}.
+		link(1, 2)[$x = 1].
+		link(1, 3)[$x = 0].
+		link(2, 3)[$y = 1].
+		link(2, 4)[$y = 0].
+		link(3, 5).
+		link(4, 5).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`
+		reach(a, b) :- link(a, b).
+		reach(a, c) :- link(a, b), reach(b, c).
+	`)
+	variants := []Options{
+		{},
+		{NoAbsorb: true},
+		{NoEagerPrune: true},
+		{NoIndex: true},
+		{NoAbsorb: true, NoEagerPrune: true, NoIndex: true},
+	}
+	s := solver.New(db.Doms)
+	summaries := make([]map[string]*cond.Formula, len(variants))
+	for i, opts := range variants {
+		res, err := Eval(prog, db, opts)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		sum := map[string]*cond.Formula{}
+		for _, tp := range res.DB.Table("reach").Tuples {
+			k := tp.DataKey()
+			c := sum[k]
+			if c == nil {
+				c = cond.False()
+			}
+			sum[k] = cond.Or(c, tp.Condition())
+		}
+		summaries[i] = sum
+	}
+	base := summaries[0]
+	for i, sum := range summaries[1:] {
+		for k, c := range base {
+			other, ok := sum[k]
+			if !ok {
+				other = cond.False()
+			}
+			eq, err := s.Equivalent(c, other)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !eq {
+				t.Errorf("variant %d: tuple %s conditions differ: %v vs %v", i+1, k, c, other)
+			}
+		}
+		for k, c := range sum {
+			if _, ok := base[k]; !ok {
+				sat, _ := s.Satisfiable(c)
+				if sat {
+					t.Errorf("variant %d: extra satisfiable tuple %s[%v]", i+1, k, c)
+				}
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`q(x) :- r(x)`,    // missing period
+		`q(x) :- .`,       // empty literal
+		`q(x :- r(x).`,    // unbalanced paren
+		`q(x) [ :- r(x).`, // unbalanced bracket
+		`var $x in {}.`,   // empty domain (database syntax, wrong parser anyway)
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("program %q should fail to parse", src)
+		}
+	}
+}
+
+func TestParseDatabaseErrors(t *testing.T) {
+	bad := []string{
+		`r(x).`,         // program variable in a fact
+		`r(A) :- s(A).`, // rule in a database file
+		`var x in {0}.`, // var requires a c-variable
+	}
+	for _, src := range bad {
+		if _, err := ParseDatabase(src); err == nil {
+			t.Errorf("database %q should fail to parse", src)
+		}
+	}
+}
+
+func TestProgramStringRoundTrip(t *testing.T) {
+	src := `reach(x, y) :- link(x, y), not down(x), $a+$b >= 1.`
+	prog := MustParse(src)
+	printed := prog.String()
+	again, err := Parse(printed)
+	if err != nil {
+		t.Fatalf("re-parsing printed program %q: %v", printed, err)
+	}
+	if len(again.Rules) != len(prog.Rules) {
+		t.Errorf("round trip changed rule count")
+	}
+	if !strings.Contains(printed, "not down(x)") {
+		t.Errorf("printed program %q missing negation", printed)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db, err := ParseDatabase(`
+		var $x in {0, 1}.
+		r(A)[$x = 1].
+		r(B)[$x = 0].
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := MustParse(`q(v) :- r(v), $x = 1.`)
+	res, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Derived != 1 {
+		t.Errorf("Derived = %d, want 1", res.Stats.Derived)
+	}
+	if res.Stats.Pruned != 1 {
+		t.Errorf("Pruned = %d, want 1 (the $x=0 branch)", res.Stats.Pruned)
+	}
+	if res.Stats.SatCalls == 0 {
+		t.Errorf("expected solver calls to be counted")
+	}
+}

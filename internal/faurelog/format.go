@@ -1,0 +1,60 @@
+package faurelog
+
+import (
+	"sort"
+	"strings"
+
+	"faure/internal/ctable"
+)
+
+// FormatDatabase renders a c-table database in the textual syntax
+// ParseDatabase reads: var declarations (sorted by name, finite
+// domains listed, unbounded ones bare) followed by the facts of every
+// table (sorted by table name, tuples in insertion order). The output
+// round-trips: parsing it yields a database with the same domains,
+// tables and conditioned tuples.
+func FormatDatabase(db *ctable.Database) string {
+	var b strings.Builder
+	names := make([]string, 0, len(db.Doms))
+	for n := range db.Doms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		d := db.Doms[n]
+		b.WriteString("var $")
+		b.WriteString(n)
+		if d.Finite() {
+			b.WriteString(" in {")
+			for i, v := range d.Values {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteString("}")
+		}
+		b.WriteString(".\n")
+	}
+	for _, tn := range db.TableNames() {
+		tbl := db.Tables[tn]
+		for _, tp := range tbl.Tuples {
+			b.WriteString(tn)
+			b.WriteByte('(')
+			for i, v := range tp.Values {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteByte(')')
+			if c := tp.Condition(); !c.IsTrue() {
+				b.WriteByte('[')
+				b.WriteString(c.String())
+				b.WriteByte(']')
+			}
+			b.WriteString(".\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package faurelog
+
+import (
+	"testing"
+)
+
+// FuzzParse checks the program parser never panics and that accepted
+// programs re-parse from their printed form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`reach(x, y) :- link(x, y).`,
+		`reach(x, z) :- link(x, y), reach(y, z).`,
+		`panic() :- r(Mkt, CS, p), not fw(Mkt, CS).`,
+		`t1(f, a, b) :- reach(f, a, b), $x+$y+$z = 1.`,
+		`q(v) [$x = 1 || !($y = 0 && $z = 1)] :- r(v), v != '1.2.3.4'.`,
+		`q() :- r(A, 7000), p < 3.`,
+		`% comment only`,
+		`q(x :- r(x).`,
+		`$`,
+		`q(x) :- r(x)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		printed := prog.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program failed to re-parse: %v\nsource: %q\nprinted: %q", err, src, printed)
+		}
+		if len(again.Rules) != len(prog.Rules) {
+			t.Fatalf("round trip changed rule count: %q -> %q", src, printed)
+		}
+	})
+}
+
+// FuzzParseDatabase checks the database parser never panics and that
+// accepted databases can be evaluated against a trivial query.
+func FuzzParseDatabase(f *testing.F) {
+	seeds := []string{
+		`var $x in {0, 1}. fwd(F0, 1, 2)[$x = 1].`,
+		`var $y. pi($y, ABE)[$y != '1.2.3.4'].`,
+		`r(A). r(B). s(A, 1).`,
+		`var $x in {ABC, ADEC}. p('1.2.3.4', $x)[$x = ABC || $x = ADEC].`,
+		`var $x in {}.`,
+		`r(x).`,
+		`r(A)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		db, err := ParseDatabase(src)
+		if err != nil {
+			return
+		}
+		// Any parsed database must be traversable and printable.
+		_ = db.String()
+		_ = db.CVars()
+	})
+}
+
+// FuzzParseCondition checks the condition parser never panics and
+// accepted conditions round-trip through their String form.
+func FuzzParseCondition(f *testing.F) {
+	for _, s := range []string{
+		`$x = 1`,
+		`$x = 1 && ($y != Mkt || $z >= 2)`,
+		`!($a = 0) || $b+$c < 2`,
+		`true`,
+		`false`,
+		`x = 1`,
+		`$x =`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ParseCondition(src)
+		if err != nil {
+			return
+		}
+		again, err := ParseCondition(c.String())
+		if err != nil {
+			t.Fatalf("printed condition failed to reparse: %v\nsource %q\nprinted %q", err, src, c.String())
+		}
+		if again.Key() != c.Key() {
+			t.Fatalf("round trip changed the condition: %q -> %q -> %q", src, c, again)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package faurelog
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+)
+
+// EvalIncrement extends a previous evaluation with newly inserted EDB
+// facts, re-deriving only what the additions enable: semi-naive
+// propagation seeded with the new tuples instead of a from-scratch
+// fixpoint. The paper's related work contrasts fauré with incremental
+// engines (INCV, differential datalog); this entry point provides the
+// corresponding capability for the insertion-monotone fragment.
+//
+// prev must be the database returned by a prior Eval of the same
+// program (input relations plus derived ones); added maps relation
+// names to the facts to insert. The program must be positive
+// (negation is not insertion-monotone: a new fact can retract
+// conclusions, which requires deletion propagation this engine does
+// not implement — re-evaluate from scratch instead).
+func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctable.Tuple, opts Options) (*Result, error) {
+	for _, r := range prog.Rules {
+		for _, a := range r.Body {
+			if a.Neg {
+				return nil, fmt.Errorf("faurelog: EvalIncrement requires a positive program (negated literal %v)", a)
+			}
+		}
+	}
+	idb := prog.IDB()
+	for pred := range added {
+		if idb[pred] {
+			return nil, fmt.Errorf("faurelog: EvalIncrement cannot insert into derived predicate %s", pred)
+		}
+	}
+	e, err := newEngine(prog, prev, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Seed the dedup and absorption state with everything already
+	// present, so re-derivations of existing tuples are no-ops.
+	for name, tbl := range prev.Tables {
+		seen := map[[2]uint64]struct{}{}
+		for _, tp := range tbl.Tuples {
+			seen[hashKey(tp.Key())] = struct{}{}
+		}
+		e.seen[name] = seen
+		if !opts.NoAbsorb && idb[name] {
+			byData := map[string][]*cond.Formula{}
+			for _, tp := range tbl.Tuples {
+				byData[tp.DataKey()] = append(byData[tp.DataKey()], tp.Condition())
+			}
+			e.conds[name] = byData
+		}
+	}
+
+	// Insert the new facts, recording the genuinely new ones as the
+	// initial delta. The touched EDB relations are exported into the
+	// result so successive increments see the accumulated facts.
+	seedDelta := delta{}
+	addedPreds := make([]string, 0, len(added))
+	for pred := range added {
+		addedPreds = append(addedPreds, pred)
+	}
+	sort.Strings(addedPreds)
+	for _, pred := range addedPreds {
+		tuples := added[pred]
+		e.extraExport = append(e.extraExport, pred)
+		rel := e.store.Rel(pred)
+		if rel == nil {
+			arity := -1
+			if len(tuples) > 0 {
+				arity = len(tuples[0].Values)
+			}
+			if arity < 0 {
+				continue
+			}
+			rel = e.store.Ensure(pred, arity)
+			e.noteArity(pred, arity)
+		}
+		seen := e.seen[pred]
+		if seen == nil {
+			seen = map[[2]uint64]struct{}{}
+			e.seen[pred] = seen
+		}
+		for _, tp := range tuples {
+			if len(tp.Values) != rel.Arity {
+				return nil, fmt.Errorf("faurelog: inserted tuple arity %d, relation %s has %d", len(tp.Values), pred, rel.Arity)
+			}
+			if tp.Condition().IsFalse() {
+				continue
+			}
+			k := hashKey(tp.Key())
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			if err := rel.Insert(tp); err != nil {
+				return nil, err
+			}
+			seedDelta[pred] = append(seedDelta[pred], tp)
+		}
+	}
+
+	strata, err := Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	for pred := range idb {
+		e.derivedOrder = append(e.derivedOrder, pred)
+	}
+	sqlStart := time.Now()
+	// Propagate through the strata in order; each stratum consumes the
+	// deltas accumulated so far (its own head deltas feed later
+	// strata).
+	pending := seedDelta
+	for _, preds := range strata {
+		inStratum := map[string]bool{}
+		for _, pr := range preds {
+			inStratum[pr] = true
+		}
+		var rules []Rule
+		for _, r := range e.prog.Rules {
+			if inStratum[r.Head.Pred] {
+				rules = append(rules, r)
+			}
+		}
+		newHere, err := e.propagate(rules, pending)
+		if err != nil {
+			return nil, err
+		}
+		for pred, tuples := range newHere {
+			pending[pred] = append(pending[pred], tuples...)
+		}
+	}
+	e.stats.SQLTime = time.Since(sqlStart) - e.stats.SolverTime
+	if e.opts.NoEagerPrune {
+		if err := e.finalPrune(); err != nil {
+			return nil, err
+		}
+	}
+	return e.result()
+}
+
+// propagate runs semi-naive rounds for one stratum's rules, starting
+// from the given deltas (over any predicate, not just the recursive
+// ones) and returning the tuples newly derived for this stratum's
+// heads.
+func (e *engine) propagate(rules []Rule, seed delta) (delta, error) {
+	for _, r := range rules {
+		e.store.Ensure(r.Head.Pred, len(r.Head.Args))
+	}
+	produced := delta{}
+	cur := seed
+	for iter := 0; ; iter++ {
+		e.stats.Iterations++
+		if iter >= e.opts.maxIters() {
+			return nil, fmt.Errorf("faurelog: incremental fixpoint did not converge within %d iterations", e.opts.maxIters())
+		}
+		next := delta{}
+		sink := func(pred string, tp ctable.Tuple) {
+			next[pred] = append(next[pred], tp)
+			produced[pred] = append(produced[pred], tp)
+		}
+		fired := false
+		for _, r := range rules {
+			for i, a := range r.Body {
+				d := cur[a.Pred]
+				if len(d) == 0 {
+					continue
+				}
+				fired = true
+				if err := e.deriveRule(r, i, d, sink); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if !fired || len(next) == 0 {
+			return produced, nil
+		}
+		cur = next
+	}
+}

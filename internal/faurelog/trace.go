@@ -1,0 +1,106 @@
+package faurelog
+
+import (
+	"strings"
+
+	"faure/internal/ctable"
+)
+
+// Source is one body fact a derivation consumed: a positive match or a
+// negated literal (whose "match" is the absence condition).
+type Source struct {
+	Pred    string
+	Tuple   ctable.Tuple
+	Negated bool
+}
+
+// Derivation records how one tuple was first derived: the rule, and
+// the body tuples the successful valuation matched.
+type Derivation struct {
+	Rule    string
+	Sources []Source
+}
+
+// Explanation is a derivation tree: the tuple, the rule that produced
+// it, and one child per source (children of EDB facts are leaves).
+// Negated sources appear as leaves annotated "not".
+type Explanation struct {
+	Pred     string
+	Tuple    ctable.Tuple
+	Rule     string // empty for EDB facts
+	Negated  bool
+	Children []*Explanation
+}
+
+// String renders the tree with two-space indentation.
+func (e *Explanation) String() string {
+	var b strings.Builder
+	e.render(&b, 0)
+	return b.String()
+}
+
+func (e *Explanation) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	if e.Negated {
+		b.WriteString("not ")
+	}
+	b.WriteString(e.Pred)
+	b.WriteString(e.Tuple.String())
+	if e.Rule != "" {
+		b.WriteString("   ⇐ ")
+		b.WriteString(e.Rule)
+	}
+	b.WriteByte('\n')
+	for _, c := range e.Children {
+		c.render(b, depth+1)
+	}
+}
+
+func traceKey(pred string, tp ctable.Tuple) string {
+	return pred + "\x00" + tp.Key()
+}
+
+// Explain reconstructs the derivation tree of a tuple from a traced
+// evaluation (Options.Trace). It returns nil when the tuple was not
+// derived in this run; EDB facts appear as leaves. Shared
+// sub-derivations are expanded at each occurrence, with a depth cap as
+// a safety net.
+func (r *Result) Explain(pred string, tp ctable.Tuple) *Explanation {
+	if r.trace == nil {
+		return nil
+	}
+	return r.explain(pred, tp, false, 0)
+}
+
+func (r *Result) explain(pred string, tp ctable.Tuple, negated bool, depth int) *Explanation {
+	e := &Explanation{Pred: pred, Tuple: tp, Negated: negated}
+	if negated || depth > 64 {
+		return e
+	}
+	d, ok := r.trace[traceKey(pred, tp)]
+	if !ok {
+		return e // EDB fact (or untraced)
+	}
+	e.Rule = d.Rule
+	for _, s := range d.Sources {
+		e.Children = append(e.Children, r.explain(s.Pred, s.Tuple, s.Negated, depth+1))
+	}
+	return e
+}
+
+// Traced reports whether the evaluation recorded derivations.
+func (r *Result) Traced() bool { return r.trace != nil }
+
+// ExplainAll returns the explanation of every tuple currently in the
+// named derived table.
+func (r *Result) ExplainAll(pred string) []*Explanation {
+	tbl := r.DB.Table(pred)
+	if tbl == nil || r.trace == nil {
+		return nil
+	}
+	out := make([]*Explanation, 0, tbl.Len())
+	for _, tp := range tbl.Tuples {
+		out = append(out, r.Explain(pred, tp))
+	}
+	return out
+}

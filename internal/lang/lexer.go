@@ -1,0 +1,224 @@
+// Package lang provides the shared lexer for the textual datalog and
+// fauré-log syntaxes.
+//
+// Token shapes:
+//
+//	ident      letters/digits/underscore, not starting with a digit;
+//	           the parsers treat a lowercase first letter as a program
+//	           variable and an uppercase one as a symbolic constant
+//	$name      a c-variable (the paper's x̄)
+//	123        an integer constant; -5 is a negative integer when the
+//	           minus sign directly precedes the digits
+//	1.2.3.4    a dotted literal (IP-style), lexed as a string constant
+//	"..."/'...' a quoted string constant
+//	% or #     comment to end of line
+//
+// plus the punctuation used by rules and the mini-SQL dialect:
+// :- ( ) [ ] { } , . + = != < <= > >= && || ! ; * -
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind is a token kind.
+type Kind uint8
+
+// Token kinds.
+const (
+	TEOF Kind = iota
+	TIdent
+	TCVar
+	TInt
+	TString // quoted string or dotted literal
+	TSym
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // identifier/symbol text or string value
+	Int  int64  // value for TInt
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TEOF:
+		return "end of input"
+	case TInt:
+		return strconv.FormatInt(t.Int, 10)
+	case TString:
+		return strconv.Quote(t.Text)
+	case TCVar:
+		return "$" + t.Text
+	default:
+		return t.Text
+	}
+}
+
+// Is reports whether the token is the given symbol.
+func (t Token) Is(sym string) bool { return t.Kind == TSym && t.Text == sym }
+
+// IsIdent reports whether the token is the given identifier.
+func (t Token) IsIdent(name string) bool { return t.Kind == TIdent && t.Text == name }
+
+// Error is a lexing or parsing error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Errorf builds a positioned error from a token.
+func Errorf(t Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+var twoCharSyms = []string{":-", "!=", "<=", ">=", "&&", "||"}
+
+const oneCharSyms = "()[]{},.+=<>!;*-"
+
+// Lex tokenises src, returning the full token list terminated by a
+// TEOF token.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i+j] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+		}
+		i += k
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '%' || c == '#':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '"' || c == '\'':
+			quote := c
+			startLine, startCol := line, col
+			advance(1)
+			var b strings.Builder
+			closed := false
+			for i < n {
+				if src[i] == quote {
+					advance(1)
+					closed = true
+					break
+				}
+				if src[i] == '\\' && i+1 < n {
+					advance(1)
+				}
+				b.WriteByte(src[i])
+				advance(1)
+			}
+			if !closed {
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "unterminated string"}
+			}
+			toks = append(toks, Token{Kind: TString, Text: b.String(), Line: startLine, Col: startCol})
+		case c == '$':
+			startLine, startCol := line, col
+			advance(1)
+			start := i
+			for i < n && isIdentChar(src[i]) {
+				advance(1)
+			}
+			if i == start {
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "'$' must be followed by a c-variable name"}
+			}
+			toks = append(toks, Token{Kind: TCVar, Text: src[start:i], Line: startLine, Col: startCol})
+		case c >= '0' && c <= '9' || c == '-' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			startLine, startCol := line, col
+			start := i
+			if c == '-' {
+				advance(1)
+			}
+			for i < n && src[i] >= '0' && src[i] <= '9' {
+				advance(1)
+			}
+			// A dot followed by a digit continues a dotted literal
+			// (1.2.3.4). Such literals are string constants.
+			if i+1 < n && src[i] == '.' && src[i+1] >= '0' && src[i+1] <= '9' {
+				for i < n && (src[i] >= '0' && src[i] <= '9' || src[i] == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9') {
+					advance(1)
+				}
+				toks = append(toks, Token{Kind: TString, Text: src[start:i], Line: startLine, Col: startCol})
+				break
+			}
+			v, err := strconv.ParseInt(src[start:i], 10, 64)
+			if err != nil {
+				return nil, &Error{Line: startLine, Col: startCol, Msg: "bad integer: " + err.Error()}
+			}
+			toks = append(toks, Token{Kind: TInt, Int: v, Line: startLine, Col: startCol})
+		case isIdentStart(c):
+			startLine, startCol := line, col
+			start := i
+			for i < n && isIdentChar(src[i]) {
+				advance(1)
+			}
+			toks = append(toks, Token{Kind: TIdent, Text: src[start:i], Line: startLine, Col: startCol})
+		default:
+			startLine, startCol := line, col
+			matched := false
+			if i+1 < n {
+				two := src[i : i+2]
+				for _, s := range twoCharSyms {
+					if two == s {
+						toks = append(toks, Token{Kind: TSym, Text: s, Line: startLine, Col: startCol})
+						advance(2)
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.IndexByte(oneCharSyms, c) >= 0 {
+				toks = append(toks, Token{Kind: TSym, Text: string(c), Line: startLine, Col: startCol})
+				advance(1)
+				break
+			}
+			return nil, &Error{Line: startLine, Col: startCol, Msg: fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	toks = append(toks, Token{Kind: TEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '&' || unicode.IsLetter(rune(c)) || c >= '0' && c <= '9'
+}
+
+// IsVariableName reports whether an identifier denotes a program
+// variable (lowercase first letter) as opposed to a symbolic constant.
+func IsVariableName(name string) bool {
+	if name == "" {
+		return false
+	}
+	r := rune(name[0])
+	return unicode.IsLower(r) || r == '_'
+}

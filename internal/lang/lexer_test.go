@@ -1,0 +1,126 @@
+package lang
+
+import "testing"
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicRule(t *testing.T) {
+	toks := lex(t, `reach(x, y) :- link(x, y).`)
+	kinds := []Kind{TIdent, TSym, TIdent, TSym, TIdent, TSym, TSym, TIdent, TSym, TIdent, TSym, TIdent, TSym, TSym, TEOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("token count = %d, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (kind %d), want kind %d", i, toks[i], toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexCVar(t *testing.T) {
+	toks := lex(t, `$x $link_2`)
+	if toks[0].Kind != TCVar || toks[0].Text != "x" {
+		t.Errorf("token 0 = %v", toks[0])
+	}
+	if toks[1].Kind != TCVar || toks[1].Text != "link_2" {
+		t.Errorf("token 1 = %v", toks[1])
+	}
+	if _, err := Lex(`$ x`); err == nil {
+		t.Errorf("bare $ should error")
+	}
+}
+
+func TestLexNumbersAndDottedLiterals(t *testing.T) {
+	toks := lex(t, `42 -7 1.2.3.4 10.0.0.0 1.`)
+	if toks[0].Kind != TInt || toks[0].Int != 42 {
+		t.Errorf("token 0 = %v", toks[0])
+	}
+	if toks[1].Kind != TInt || toks[1].Int != -7 {
+		t.Errorf("token 1 = %v", toks[1])
+	}
+	if toks[2].Kind != TString || toks[2].Text != "1.2.3.4" {
+		t.Errorf("token 2 = %v", toks[2])
+	}
+	if toks[3].Kind != TString || toks[3].Text != "10.0.0.0" {
+		t.Errorf("token 3 = %v", toks[3])
+	}
+	// "1." is the integer 1 followed by a period (rule terminator).
+	if toks[4].Kind != TInt || toks[4].Int != 1 {
+		t.Errorf("token 4 = %v", toks[4])
+	}
+	if !toks[5].Is(".") {
+		t.Errorf("token 5 = %v", toks[5])
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lex(t, `"hello world" 'ABC'`)
+	if toks[0].Kind != TString || toks[0].Text != "hello world" {
+		t.Errorf("token 0 = %v", toks[0])
+	}
+	if toks[1].Kind != TString || toks[1].Text != "ABC" {
+		t.Errorf("token 1 = %v", toks[1])
+	}
+	if _, err := Lex(`"unterminated`); err == nil {
+		t.Errorf("unterminated string should error")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lex(t, "a % comment to eol\nb # another\nc")
+	if len(toks) != 4 { // a, b, c, EOF
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestLexTwoCharSymbols(t *testing.T) {
+	toks := lex(t, `:- != <= >= && ||`)
+	want := []string{":-", "!=", "<=", ">=", "&&", "||"}
+	for i, w := range want {
+		if !toks[i].Is(w) {
+			t.Errorf("token %d = %v, want %s", i, toks[i], w)
+		}
+	}
+}
+
+func TestLexAmpersandIdent(t *testing.T) {
+	toks := lex(t, `R&D`)
+	if toks[0].Kind != TIdent || toks[0].Text != "R&D" {
+		t.Errorf("R&D should lex as one identifier, got %v", toks[0])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lex(t, "a\n  b")
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("token a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("token b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("a ~ b"); err == nil {
+		t.Errorf("unexpected character should error")
+	}
+}
+
+func TestIsVariableName(t *testing.T) {
+	cases := map[string]bool{
+		"x": true, "dest": true, "_tmp": true,
+		"Mkt": false, "CS": false, "": false, "R&D": false,
+	}
+	for name, want := range cases {
+		if got := IsVariableName(name); got != want {
+			t.Errorf("IsVariableName(%q) = %v, want %v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+// Package minisql implements the SQL layer of the paper's practical
+// implementation (§6): fauré-log is executed by *rewriting it into
+// SQL* over relations that carry a reserved condition column, in the
+// paper's three steps — (1) generate the data part of the result
+// c-table with plain relational statements, (2) attach conditions
+// (including the pattern-matching equalities) as expressions over the
+// condition column, (3) invoke the solver to delete tuples whose
+// condition is contradictory. The paper targets PostgreSQL + Z3; this
+// package provides the equivalent self-contained stack: a small SQL
+// dialect (AST, renderer, parser), an executor over the indexed
+// relation store, and a compiler from fauré-log programs to scripts.
+//
+// The dialect, by example (every table implicitly carries a condition
+// column; the last SELECT expression is the produced condition):
+//
+//	CREATE TABLE reach (c0, c1, c2);
+//	INSERT INTO reach SELECT t0.c0, t0.c1, t0.c2, COND(t0) FROM fwd t0;
+//	LOOP
+//	  INSERT INTO reach
+//	  SELECT t0.c0, t0.c1, t1.c2,
+//	         AND(COND(t0), COND(t1), CMP(t0.c2, '=', t1.c1))
+//	  FROM fwd t0, reach t1
+//	  MATCH t0.c0 = t1.c0, t0.c2 = t1.c1;
+//	UNTIL FIXPOINT;
+//	DELETE FROM reach WHERE UNSAT;
+//
+// MATCH clauses are index-access hints: they never change the result
+// (joins over c-variables stay soft — the CMP in the condition is the
+// real join predicate), they only narrow which tuple combinations the
+// executor enumerates. Recursion is a LOOP ... UNTIL FIXPOINT block,
+// the stratified iteration the paper uses in place of Postgres's
+// native recursion. Negated fauré-log literals compile to NOTIN
+// condition expressions (fauré-log's "not derivable" semantics in SQL
+// form), so the backend covers the full language including the §5
+// constraint programs; it is differential-tested against the native
+// engine in package faurelog.
+package minisql
+
+import (
+	"fmt"
+	"strings"
+
+	"faure/internal/cond"
+)
+
+// Stmt is one statement of a script.
+type Stmt interface {
+	render(b *strings.Builder, indent string)
+}
+
+// Script is a parsed or compiled sequence of statements.
+type Script struct {
+	Stmts []Stmt
+}
+
+// String renders the script in the concrete dialect; the output parses
+// back to an equivalent script.
+func (s *Script) String() string {
+	var b strings.Builder
+	for _, st := range s.Stmts {
+		st.render(&b, "")
+	}
+	return b.String()
+}
+
+// CreateTable declares a result table; the condition column is
+// implicit.
+type CreateTable struct {
+	Table string
+	Cols  []string
+}
+
+func (s *CreateTable) render(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sCREATE TABLE %s (%s);\n", indent, s.Table, strings.Join(s.Cols, ", "))
+}
+
+// InsertSelect inserts the rows produced by a select.
+type InsertSelect struct {
+	Table  string
+	Select Select
+}
+
+func (s *InsertSelect) render(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sINSERT INTO %s %s;\n", indent, s.Table, s.Select.String())
+}
+
+// InsertValues inserts literal rows (used for facts); the last
+// expression of each row is the condition.
+type InsertValues struct {
+	Table string
+	Rows  [][]Expr
+}
+
+func (s *InsertValues) render(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sINSERT INTO %s VALUES ", indent, s.Table)
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	b.WriteString(";\n")
+}
+
+// DeleteUnsat removes tuples with contradictory conditions — the
+// paper's step (3).
+type DeleteUnsat struct {
+	Table string
+}
+
+func (s *DeleteUnsat) render(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sDELETE FROM %s WHERE UNSAT;\n", indent, s.Table)
+}
+
+// Loop repeats its body until no statement inserts a new tuple (the
+// stratified fixpoint).
+type Loop struct {
+	Body []Stmt
+}
+
+func (s *Loop) render(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%sLOOP\n", indent)
+	for _, st := range s.Body {
+		st.render(b, indent+"  ")
+	}
+	fmt.Fprintf(b, "%sUNTIL FIXPOINT;\n", indent)
+}
+
+// Select is a projection over a cross product of aliased tables with
+// MATCH access hints. Exprs holds the projected cell expressions
+// followed by exactly one condition expression.
+type Select struct {
+	Exprs []Expr
+	From  []FromItem
+	Match []MatchPred
+}
+
+// String renders the select clause.
+func (s Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, e := range s.Exprs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Table)
+		b.WriteByte(' ')
+		b.WriteString(f.Alias)
+	}
+	if len(s.Match) > 0 {
+		b.WriteString(" MATCH ")
+		for i, m := range s.Match {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(m.Left.String())
+			b.WriteString(" = ")
+			b.WriteString(m.Right.String())
+		}
+	}
+	return b.String()
+}
+
+// FromItem is one aliased table reference.
+type FromItem struct {
+	Table string
+	Alias string
+}
+
+// MatchPred is an access-path hint: an equality the executor may use
+// for index probing. Right may be a column of another alias or a
+// literal.
+type MatchPred struct {
+	Left  ColRef
+	Right Expr // ColRef or Lit
+}
+
+// Expr is a cell- or condition-valued expression.
+type Expr interface {
+	String() string
+}
+
+// ColRef references a column of an aliased table: t0.c2.
+type ColRef struct {
+	Alias string
+	Col   int
+}
+
+func (e ColRef) String() string { return fmt.Sprintf("%s.c%d", e.Alias, e.Col) }
+
+// Lit is a c-domain literal: constant or c-variable.
+type Lit struct {
+	Value cond.Term
+}
+
+func (e Lit) String() string {
+	if e.Value.Kind == cond.KStr {
+		s := strings.ReplaceAll(e.Value.S, `\`, `\\`)
+		s = strings.ReplaceAll(s, `'`, `\'`)
+		return "'" + s + "'"
+	}
+	return e.Value.String()
+}
+
+// CondOf references the implicit condition column of an alias:
+// COND(t0).
+type CondOf struct {
+	Alias string
+}
+
+func (e CondOf) String() string { return "COND(" + e.Alias + ")" }
+
+// BoolLit is the TRUE or FALSE condition.
+type BoolLit struct {
+	Value bool
+}
+
+func (e BoolLit) String() string {
+	if e.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// AndExpr / OrExpr / NotExpr combine condition expressions.
+type AndExpr struct{ Args []Expr }
+
+func (e AndExpr) String() string { return callString("AND", e.Args) }
+
+// OrExpr is an n-ary disjunction.
+type OrExpr struct{ Args []Expr }
+
+func (e OrExpr) String() string { return callString("OR", e.Args) }
+
+// NotExpr negates a condition expression.
+type NotExpr struct{ Arg Expr }
+
+func (e NotExpr) String() string { return "NOT(" + e.Arg.String() + ")" }
+
+// NotInExpr is the condition-valued "not derivable" test: it resolves
+// its cell expressions against the current row and produces the
+// negation of the disjunction, over every tuple of Table, of the
+// pointwise-equality conditions conjoined with the tuple's own
+// condition — fauré-log's negation semantics, in SQL form. Rendered as
+// NOTIN(table, e1, ..., ek).
+type NotInExpr struct {
+	Table string
+	Cells []Expr
+}
+
+func (e NotInExpr) String() string {
+	parts := make([]string, 0, len(e.Cells)+1)
+	parts = append(parts, e.Table)
+	for _, c := range e.Cells {
+		parts = append(parts, c.String())
+	}
+	return "NOTIN(" + strings.Join(parts, ", ") + ")"
+}
+
+// CmpExpr builds a comparison atom from cell expressions: the Sum
+// (usually one element) compared to Right. Rendered as
+// CMP(left, '=', right) or CMP(SUM(a, b), '<', 2).
+type CmpExpr struct {
+	Sum   []Expr
+	Op    cond.Op
+	Right Expr
+}
+
+func (e CmpExpr) String() string {
+	var left string
+	if len(e.Sum) == 1 {
+		left = e.Sum[0].String()
+	} else {
+		left = callString("SUM", e.Sum)
+	}
+	return fmt.Sprintf("CMP(%s, '%s', %s)", left, e.Op, e.Right.String())
+}
+
+func callString(fn string, args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return fn + "(" + strings.Join(parts, ", ") + ")"
+}

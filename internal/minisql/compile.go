@@ -1,0 +1,306 @@
+package minisql
+
+import (
+	"fmt"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/faurelog"
+)
+
+// Compile rewrites a fauré-log program into a SQL script, the paper's
+// §6 implementation strategy: per stratum, CREATE the result tables,
+// emit one INSERT ... SELECT per rule (non-recursive strata once,
+// recursive strata inside a LOOP ... UNTIL FIXPOINT), and finish each
+// table with DELETE ... WHERE UNSAT (the Z3 step). The db argument
+// supplies the arities of the EDB relations the program reads.
+//
+// Negated literals compile to NOTIN condition expressions; strata
+// ordering (negation strictly downward) guarantees the referenced
+// table is complete before any rule reads it.
+func Compile(prog *faurelog.Program, db *ctable.Database) (*Script, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := faurelog.Stratify(prog)
+	if err != nil {
+		return nil, err
+	}
+	arity := map[string]int{}
+	for name, t := range db.Tables {
+		arity[name] = t.Schema.Arity()
+	}
+	for _, r := range prog.Rules {
+		if n, ok := arity[r.Head.Pred]; ok && n != len(r.Head.Args) {
+			return nil, fmt.Errorf("minisql: predicate %s arity mismatch", r.Head.Pred)
+		}
+		arity[r.Head.Pred] = len(r.Head.Args)
+	}
+
+	script := &Script{}
+	created := map[string]bool{}
+	for _, preds := range strata {
+		inStratum := map[string]bool{}
+		for _, pr := range preds {
+			inStratum[pr] = true
+			if !created[pr] {
+				created[pr] = true
+				cols := make([]string, arity[pr])
+				for i := range cols {
+					cols[i] = fmt.Sprintf("c%d", i)
+				}
+				script.Stmts = append(script.Stmts, &CreateTable{Table: pr, Cols: cols})
+			}
+		}
+		var once []Stmt // rules with no same-stratum dependency
+		var loop []Stmt // rules that must iterate
+		for _, r := range prog.Rules {
+			if !inStratum[r.Head.Pred] {
+				continue
+			}
+			st, err := compileRule(r)
+			if err != nil {
+				return nil, err
+			}
+			recursive := false
+			for _, a := range r.Body {
+				if inStratum[a.Pred] {
+					if a.Neg {
+						return nil, fmt.Errorf("minisql: negation through recursion in %v", r)
+					}
+					recursive = true
+				}
+			}
+			if recursive {
+				loop = append(loop, st)
+			} else {
+				once = append(once, st)
+			}
+		}
+		script.Stmts = append(script.Stmts, once...)
+		if len(loop) > 0 {
+			script.Stmts = append(script.Stmts, &Loop{Body: loop})
+		}
+		// The solver pass (step 3) closes the stratum.
+		for _, pr := range preds {
+			script.Stmts = append(script.Stmts, &DeleteUnsat{Table: pr})
+		}
+	}
+	return script, nil
+}
+
+// compileRule turns one positive rule into INSERT INTO head SELECT.
+// Each body literal gets an alias t0, t1, ...; the first occurrence of
+// a program variable names its column, later occurrences and constant
+// or c-variable arguments contribute soft-equality CMPs to the
+// produced condition and MATCH hints for index probing.
+func compileRule(r faurelog.Rule) (Stmt, error) {
+	sel := Select{}
+	// Facts compile to INSERT VALUES.
+	if len(r.Body) == 0 {
+		row := make([]Expr, 0, len(r.Head.Args)+1)
+		for _, t := range r.Head.Args {
+			if t.Kind == faurelog.TVar {
+				return nil, fmt.Errorf("minisql: unbound head variable in fact %v", r)
+			}
+			row = append(row, Lit{Value: t.Symbol()})
+		}
+		c, err := compileRuleCondition(r, nil)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, c)
+		return &InsertValues{Table: r.Head.Pred, Rows: [][]Expr{row}}, nil
+	}
+
+	varCol := map[string]ColRef{}
+	condArgs := []Expr{}
+	aliasNo := 0
+	var negated []faurelog.Atom
+	for _, a := range r.Body {
+		if a.Neg {
+			negated = append(negated, a)
+			continue
+		}
+		alias := fmt.Sprintf("t%d", aliasNo)
+		aliasNo++
+		sel.From = append(sel.From, FromItem{Table: a.Pred, Alias: alias})
+		condArgs = append(condArgs, CondOf{Alias: alias})
+		for col, t := range a.Args {
+			ref := ColRef{Alias: alias, Col: col}
+			switch t.Kind {
+			case faurelog.TVar:
+				if first, ok := varCol[t.Name]; ok {
+					condArgs = append(condArgs, CmpExpr{Sum: []Expr{Expr(first)}, Op: cond.Eq, Right: ref})
+					sel.Match = append(sel.Match, MatchPred{Left: ref, Right: first})
+				} else {
+					varCol[t.Name] = ref
+				}
+			default:
+				lit := Lit{Value: t.Symbol()}
+				condArgs = append(condArgs, CmpExpr{Sum: []Expr{Expr(ref)}, Op: cond.Eq, Right: lit})
+				if t.Kind == faurelog.TConst {
+					sel.Match = append(sel.Match, MatchPred{Left: ref, Right: lit})
+				}
+			}
+		}
+	}
+	// Negated literals become NOTIN conditions; safety validation
+	// guarantees their variables are bound by the positive literals.
+	for _, a := range negated {
+		cells := make([]Expr, len(a.Args))
+		for i, t := range a.Args {
+			e, err := compileTerm(t, varCol)
+			if err != nil {
+				return nil, err
+			}
+			cells[i] = e
+		}
+		condArgs = append(condArgs, NotInExpr{Table: a.Pred, Cells: cells})
+	}
+	extra, err := compileRuleCondition(r, varCol)
+	if err != nil {
+		return nil, err
+	}
+	switch v := extra.(type) {
+	case AndExpr:
+		condArgs = append(condArgs, v.Args...)
+	case BoolLit:
+		if !v.Value {
+			condArgs = append(condArgs, v)
+		}
+	default:
+		condArgs = append(condArgs, extra)
+	}
+
+	for _, t := range r.Head.Args {
+		switch t.Kind {
+		case faurelog.TVar:
+			ref, ok := varCol[t.Name]
+			if !ok {
+				return nil, fmt.Errorf("minisql: unbound head variable %s in %v", t.Name, r)
+			}
+			sel.Exprs = append(sel.Exprs, ref)
+		default:
+			sel.Exprs = append(sel.Exprs, Lit{Value: t.Symbol()})
+		}
+	}
+	sel.Exprs = append(sel.Exprs, AndExpr{Args: condArgs})
+	return &InsertSelect{Table: r.Head.Pred, Select: sel}, nil
+}
+
+// compileRuleCondition compiles the rule's comparison literals and
+// head condition into one condition expression.
+func compileRuleCondition(r faurelog.Rule, varCol map[string]ColRef) (Expr, error) {
+	var parts []Expr
+	for _, c := range r.Comps {
+		e, err := compileComparison(c, varCol)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if r.HeadCond != nil {
+		e, err := compileCondExpr(r.HeadCond, varCol)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, e)
+	}
+	if len(parts) == 0 {
+		return BoolLit{Value: true}, nil
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return AndExpr{Args: parts}, nil
+}
+
+func compileComparison(c faurelog.Comparison, varCol map[string]ColRef) (Expr, error) {
+	sum := make([]Expr, len(c.Sum))
+	for i, t := range c.Sum {
+		e, err := compileTerm(t, varCol)
+		if err != nil {
+			return nil, err
+		}
+		sum[i] = e
+	}
+	rhs, err := compileTerm(c.RHS, varCol)
+	if err != nil {
+		return nil, err
+	}
+	return CmpExpr{Sum: sum, Op: c.Op, Right: rhs}, nil
+}
+
+func compileTerm(t faurelog.Term, varCol map[string]ColRef) (Expr, error) {
+	if t.Kind == faurelog.TVar {
+		ref, ok := varCol[t.Name]
+		if !ok {
+			return nil, fmt.Errorf("minisql: unbound variable %s in comparison", t.Name)
+		}
+		return ref, nil
+	}
+	return Lit{Value: t.Symbol()}, nil
+}
+
+func compileCondExpr(ce faurelog.CondExpr, varCol map[string]ColRef) (Expr, error) {
+	switch e := ce.(type) {
+	case faurelog.CondComp:
+		return compileComparison(e.Comp, varCol)
+	case faurelog.CondAnd:
+		args, err := compileCondList(e.Sub, varCol)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return BoolLit{Value: true}, nil
+		}
+		return AndExpr{Args: args}, nil
+	case faurelog.CondOr:
+		args, err := compileCondList(e.Sub, varCol)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) == 0 {
+			return BoolLit{Value: false}, nil
+		}
+		return OrExpr{Args: args}, nil
+	case faurelog.CondNot:
+		a, err := compileCondExpr(e.Sub, varCol)
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{Arg: a}, nil
+	default:
+		return nil, fmt.Errorf("minisql: unknown condition expression %T", ce)
+	}
+}
+
+func compileCondList(sub []faurelog.CondExpr, varCol map[string]ColRef) ([]Expr, error) {
+	out := make([]Expr, len(sub))
+	var err error
+	for i, s := range sub {
+		if out[i], err = compileCondExpr(s, varCol); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EvalSQL runs a fauré-log program through the full SQL pipeline —
+// compile to a script, render to text, parse the text back, execute —
+// and returns the resulting database. The render/parse round trip is
+// intentional: it exercises the textual dialect on every evaluation,
+// mirroring the paper's architecture where the rewritten SQL is what
+// actually reaches the database engine.
+func EvalSQL(prog *faurelog.Program, db *ctable.Database, opts Options) (*ctable.Database, *Stats, error) {
+	script, err := Compile(prog, db)
+	if err != nil {
+		return nil, nil, err
+	}
+	reparsed, err := ParseScript(script.String())
+	if err != nil {
+		return nil, nil, fmt.Errorf("minisql: rendered script failed to reparse: %w", err)
+	}
+	return Run(reparsed, db, opts)
+}

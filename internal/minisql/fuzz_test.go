@@ -1,0 +1,36 @@
+package minisql
+
+import "testing"
+
+// FuzzParseScript checks the SQL parser never panics and accepted
+// scripts render/reparse stably.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		`CREATE TABLE reach (c0, c1, c2);`,
+		`INSERT INTO reach SELECT t0.c0, t0.c1, t0.c2, COND(t0) FROM fwd t0;`,
+		`INSERT INTO r VALUES (1, 'A', TRUE), (2, $x, CMP($x, '=', 1));`,
+		`LOOP
+  INSERT INTO reach SELECT t0.c0, t1.c1, AND(COND(t0), COND(t1), CMP(t0.c1, '=', t1.c0)) FROM fwd t0, reach t1 MATCH t1.c0 = t0.c1;
+UNTIL FIXPOINT;`,
+		`DELETE FROM reach WHERE UNSAT;`,
+		`INSERT INTO q SELECT t0.c0, OR(NOT(CMP(SUM($x, $y), '<', 2)), FALSE) FROM r t0;`,
+		`CREATE TABLE;`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, err := ParseScript(src)
+		if err != nil {
+			return
+		}
+		text := script.String()
+		again, err := ParseScript(text)
+		if err != nil {
+			t.Fatalf("rendered script failed to reparse: %v\nsource: %q\nrendered: %q", err, src, text)
+		}
+		if again.String() != text {
+			t.Fatalf("render not stable:\n%q\nvs\n%q", text, again.String())
+		}
+	})
+}

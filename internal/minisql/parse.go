@@ -1,0 +1,464 @@
+package minisql
+
+import (
+	"strconv"
+	"strings"
+
+	"faure/internal/cond"
+	"faure/internal/lang"
+)
+
+// ParseScript parses the textual dialect back into a script. Keywords
+// are case-insensitive; see the package comment for the grammar by
+// example.
+func ParseScript(src string) (*Script, error) {
+	toks, err := lang.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s := &Script{}
+	for !p.at(lang.TEOF) {
+		st, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Stmts = append(s.Stmts, st)
+	}
+	return s, nil
+}
+
+type parser struct {
+	toks []lang.Token
+	pos  int
+}
+
+func (p *parser) peek() lang.Token { return p.toks[p.pos] }
+
+func (p *parser) next() lang.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lang.TEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k lang.Kind) bool { return p.peek().Kind == k }
+
+// kw tests (and consumes on match) a case-insensitive keyword.
+func (p *parser) kw(word string) bool {
+	t := p.peek()
+	if t.Kind == lang.TIdent && strings.EqualFold(t.Text, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(word string) error {
+	if !p.kw(word) {
+		return lang.Errorf(p.peek(), "expected %s, found %s", word, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectSym(sym string) error {
+	t := p.next()
+	if !t.Is(sym) {
+		return lang.Errorf(t, "expected %q, found %s", sym, t)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.Kind != lang.TIdent {
+		return "", lang.Errorf(t, "expected identifier, found %s", t)
+	}
+	return t.Text, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	switch {
+	case p.kw("CREATE"):
+		if err := p.expectKw("TABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym("("); err != nil {
+			return nil, err
+		}
+		var cols []string
+		// 0-ary tables (the panic predicate) have an empty column list.
+		if !p.peek().Is(")") {
+			for {
+				c, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				cols = append(cols, c)
+				if p.peek().Is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &CreateTable{Table: name, Cols: cols}, nil
+
+	case p.kw("INSERT"):
+		if err := p.expectKw("INTO"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.kw("VALUES") {
+			var rows [][]Expr
+			for {
+				if err := p.expectSym("("); err != nil {
+					return nil, err
+				}
+				var row []Expr
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, e)
+					if p.peek().Is(",") {
+						p.next()
+						continue
+					}
+					break
+				}
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+				if p.peek().Is(",") {
+					p.next()
+					continue
+				}
+				break
+			}
+			if err := p.expectSym(";"); err != nil {
+				return nil, err
+			}
+			return &InsertValues{Table: name, Rows: rows}, nil
+		}
+		sel, err := p.selectClause()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &InsertSelect{Table: name, Select: sel}, nil
+
+	case p.kw("DELETE"):
+		if err := p.expectKw("FROM"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("WHERE"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("UNSAT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &DeleteUnsat{Table: name}, nil
+
+	case p.kw("LOOP"):
+		var body []Stmt
+		for !p.kw("UNTIL") {
+			st, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			body = append(body, st)
+		}
+		if err := p.expectKw("FIXPOINT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(";"); err != nil {
+			return nil, err
+		}
+		return &Loop{Body: body}, nil
+	}
+	return nil, lang.Errorf(p.peek(), "expected statement, found %s", p.peek())
+}
+
+func (p *parser) selectClause() (Select, error) {
+	var sel Select
+	if err := p.expectKw("SELECT"); err != nil {
+		return sel, err
+	}
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return sel, err
+		}
+		sel.Exprs = append(sel.Exprs, e)
+		if p.peek().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return sel, err
+	}
+	for {
+		table, err := p.ident()
+		if err != nil {
+			return sel, err
+		}
+		alias, err := p.ident()
+		if err != nil {
+			return sel, err
+		}
+		sel.From = append(sel.From, FromItem{Table: table, Alias: alias})
+		if p.peek().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.kw("MATCH") {
+		for {
+			left, err := p.colRef()
+			if err != nil {
+				return sel, err
+			}
+			if err := p.expectSym("="); err != nil {
+				return sel, err
+			}
+			right, err := p.expr()
+			if err != nil {
+				return sel, err
+			}
+			switch right.(type) {
+			case ColRef, Lit:
+			default:
+				return sel, lang.Errorf(p.peek(), "MATCH right side must be a column or literal")
+			}
+			sel.Match = append(sel.Match, MatchPred{Left: left, Right: right})
+			if p.peek().Is(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	return sel, nil
+}
+
+// colRef parses t0.c3.
+func (p *parser) colRef() (ColRef, error) {
+	alias, err := p.ident()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if err := p.expectSym("."); err != nil {
+		return ColRef{}, err
+	}
+	t := p.next()
+	if t.Kind != lang.TIdent || !strings.HasPrefix(t.Text, "c") {
+		return ColRef{}, lang.Errorf(t, "expected column cN, found %s", t)
+	}
+	n, err := strconv.Atoi(t.Text[1:])
+	if err != nil {
+		return ColRef{}, lang.Errorf(t, "bad column %s", t)
+	}
+	return ColRef{Alias: alias, Col: n}, nil
+}
+
+// expr parses one cell- or condition-valued expression.
+func (p *parser) expr() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lang.TInt:
+		p.next()
+		return Lit{Value: cond.Int(t.Int)}, nil
+	case lang.TString:
+		p.next()
+		return Lit{Value: cond.Str(t.Text)}, nil
+	case lang.TCVar:
+		p.next()
+		return Lit{Value: cond.CVar(t.Text)}, nil
+	case lang.TIdent:
+		switch strings.ToUpper(t.Text) {
+		case "TRUE":
+			p.next()
+			return BoolLit{Value: true}, nil
+		case "FALSE":
+			p.next()
+			return BoolLit{Value: false}, nil
+		case "COND":
+			p.next()
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			alias, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return CondOf{Alias: alias}, nil
+		case "AND", "OR":
+			fn := strings.ToUpper(t.Text)
+			p.next()
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			if fn == "AND" {
+				return AndExpr{Args: args}, nil
+			}
+			return OrExpr{Args: args}, nil
+		case "NOT":
+			p.next()
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			if len(args) != 1 {
+				return nil, lang.Errorf(t, "NOT takes one argument")
+			}
+			return NotExpr{Arg: args[0]}, nil
+		case "CMP":
+			p.next()
+			return p.cmpExpr()
+		case "NOTIN":
+			p.next()
+			if err := p.expectSym("("); err != nil {
+				return nil, err
+			}
+			table, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			var cells []Expr
+			for p.peek().Is(",") {
+				p.next()
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				cells = append(cells, e)
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return NotInExpr{Table: table, Cells: cells}, nil
+		case "SUM":
+			return nil, lang.Errorf(t, "SUM is only valid as CMP's first argument")
+		}
+		// Otherwise it is an alias.column reference.
+		return p.colRef()
+	}
+	return nil, lang.Errorf(t, "expected expression, found %s", t)
+}
+
+func (p *parser) argList() ([]Expr, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	if p.peek().Is(")") {
+		p.next()
+		return nil, nil
+	}
+	var args []Expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		if p.peek().Is(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+// cmpExpr parses CMP(left-or-SUM(...), 'op', right).
+func (p *parser) cmpExpr() (Expr, error) {
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	var sum []Expr
+	if p.peek().Kind == lang.TIdent && strings.EqualFold(p.peek().Text, "SUM") {
+		p.next()
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		sum = args
+	} else {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sum = []Expr{e}
+	}
+	if err := p.expectSym(","); err != nil {
+		return nil, err
+	}
+	opTok := p.next()
+	if opTok.Kind != lang.TString {
+		return nil, lang.Errorf(opTok, "expected quoted operator, found %s", opTok)
+	}
+	var op cond.Op
+	switch opTok.Text {
+	case "=":
+		op = cond.Eq
+	case "!=":
+		op = cond.Ne
+	case "<":
+		op = cond.Lt
+	case "<=":
+		op = cond.Le
+	case ">":
+		op = cond.Gt
+	case ">=":
+		op = cond.Ge
+	default:
+		return nil, lang.Errorf(opTok, "unknown operator %q", opTok.Text)
+	}
+	if err := p.expectSym(","); err != nil {
+		return nil, err
+	}
+	right, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return CmpExpr{Sum: sum, Op: op, Right: right}, nil
+}

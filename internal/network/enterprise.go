@@ -1,0 +1,137 @@
+package network
+
+import (
+	"faure/internal/cond"
+	"faure/internal/containment"
+	"faure/internal/ctable"
+	"faure/internal/rewrite"
+	"faure/internal/solver"
+)
+
+// The §5 running example: an enterprise network connecting the Mkt and
+// R&D frontend subnets to the critical server CS and the general
+// server GS, managed by a security team (firewalls) and a traffic
+// engineering team (load balancers). Three c-tables model the state:
+//
+//	r(subnet, server, port)  traffic allowed from subnet to server:port
+//	lb(subnet, server)       a load balancer is deployed on the path
+//	fw(subnet, server)       a firewall is deployed on the path
+//
+// The attribute c-domains follow the paper: subnet ∈ {Mkt, R&D, x̄},
+// server ∈ {CS, GS, ȳ}, port ∈ {80, 344, 7000, p̄}.
+
+// Enterprise attribute constants.
+const (
+	Mkt = "Mkt"
+	RnD = "R&D"
+	CS  = "CS"
+	GS  = "GS"
+)
+
+// EnterpriseDomains returns the c-variable domains of the §5 scenario:
+// $x ranges over subnets, $y over servers, $p over ports.
+func EnterpriseDomains() solver.Domains {
+	return solver.Domains{
+		"x": solver.EnumDomain(cond.Str(Mkt), cond.Str(RnD)),
+		"y": solver.EnumDomain(cond.Str(CS), cond.Str(GS)),
+		"p": solver.EnumDomain(cond.Int(80), cond.Int(344), cond.Int(7000)),
+	}
+}
+
+// EnterpriseSchema types the base relations' attributes, so that the
+// containment tests know a server column can only hold CS or GS.
+func EnterpriseSchema() *containment.Schema {
+	subnet := solver.EnumDomain(cond.Str(Mkt), cond.Str(RnD))
+	server := solver.EnumDomain(cond.Str(CS), cond.Str(GS))
+	port := solver.EnumDomain(cond.Int(80), cond.Int(344), cond.Int(7000))
+	return &containment.Schema{ColDomains: map[string][]solver.Domain{
+		"r":  {subnet, server, port},
+		"lb": {subnet, server},
+		"fw": {subnet, server},
+	}}
+}
+
+// T1 is the first target constraint: Mkt traffic to the critical
+// server CS must go through a firewall (q9).
+func T1() containment.Constraint {
+	return containment.MustConstraint("T1",
+		`panic() :- r(Mkt, CS, p), not fw(Mkt, CS).`)
+}
+
+// T2 is the second target constraint: R&D traffic to any server (on
+// the load-balanced port 7000) must pass through a load balancer
+// (q10).
+func T2() containment.Constraint {
+	return containment.MustConstraint("T2",
+		`panic() :- r('R&D', y, 7000), not lb('R&D', y).`)
+}
+
+// Clb is the TE team's policy (q11, q13–q15): only frontend subnets
+// may send to CS, on port 7000, and through a load balancer.
+func Clb() containment.Constraint {
+	return containment.MustConstraint("C_lb", `
+		panic() :- vt(x, y, p).
+		vt(x, CS, p) :- r(x, CS, p), x != Mkt, x != 'R&D'.
+		vt(x, CS, p) :- r(x, CS, p), not lb(x, CS).
+		vt(x, CS, p) :- r(x, CS, p), p != 7000.
+	`)
+}
+
+// Cs is the security team's policy (q16–q18): every allowed packet
+// must use one of ports 80, 344, 7000 and pass through a firewall.
+func Cs() containment.Constraint {
+	return containment.MustConstraint("C_s", `
+		panic() :- vs(x, y, p).
+		vs(x, y, p) :- r(x, y, p), not fw(x, y).
+		vs(x, y, p) :- r(x, y, p), p != 80, p != 344, p != 7000.
+	`)
+}
+
+// ListingFourUpdate is the §5 update: the TE team removes load
+// balancing between Mkt and CS and adds it for R&D and GS.
+func ListingFourUpdate() rewrite.Update {
+	return rewrite.Update{
+		Inserts: []rewrite.Change{{Pred: "lb", Values: []cond.Term{cond.Str(RnD), cond.Str(GS)}}},
+		Deletes: []rewrite.Change{{Pred: "lb", Values: []cond.Term{cond.Str(Mkt), cond.Str(CS)}}},
+	}
+}
+
+// EnterpriseState builds a concrete pre-update state that satisfies
+// C_lb and C_s (and T1, T2): both subnets reach both servers on port
+// 7000 plus web traffic to GS; firewalls guard every pair; load
+// balancers guard all traffic to CS and the R&D pairs. The state also
+// carries one genuinely partial row — traffic from an unknown subnet
+// $x to an unknown server $y on port $p — to exercise c-table
+// reasoning end to end.
+func EnterpriseState(includeUnknown bool) *ctable.Database {
+	db := ctable.NewDatabase()
+	for name, d := range EnterpriseDomains() {
+		db.DeclareVar(name, d)
+	}
+	r := ctable.NewTable("r", "subnet", "server", "port")
+	r.MustInsert(nil, cond.Str(Mkt), cond.Str(CS), cond.Int(7000))
+	r.MustInsert(nil, cond.Str(RnD), cond.Str(CS), cond.Int(7000))
+	r.MustInsert(nil, cond.Str(RnD), cond.Str(GS), cond.Int(7000))
+	r.MustInsert(nil, cond.Str(Mkt), cond.Str(GS), cond.Int(80))
+	if includeUnknown {
+		r.MustInsert(nil, cond.CVar("x"), cond.CVar("y"), cond.CVar("p"))
+	}
+	db.AddTable(r)
+
+	lb := ctable.NewTable("lb", "subnet", "server")
+	lb.MustInsert(nil, cond.Str(Mkt), cond.Str(CS))
+	lb.MustInsert(nil, cond.Str(RnD), cond.Str(CS))
+	lb.MustInsert(nil, cond.Str(RnD), cond.Str(GS))
+	if includeUnknown {
+		lb.MustInsert(nil, cond.CVar("x"), cond.CVar("y"))
+	}
+	db.AddTable(lb)
+
+	fw := ctable.NewTable("fw", "subnet", "server")
+	fw.MustInsert(nil, cond.Str(Mkt), cond.Str(CS))
+	fw.MustInsert(nil, cond.Str(Mkt), cond.Str(GS))
+	fw.MustInsert(nil, cond.Str(RnD), cond.Str(CS))
+	fw.MustInsert(nil, cond.Str(RnD), cond.Str(GS))
+	db.AddTable(fw)
+	return db
+}

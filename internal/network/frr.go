@@ -1,0 +1,244 @@
+// Package network models the paper's two driving scenarios on top of
+// fauré-log:
+//
+//   - Fast rerouting under link failures (§4, Figure 1 / Table 3 /
+//     Listing 2): a topology with protected links whose failure states
+//     are c-variables, compiled into a single forwarding c-table that
+//     captures every possible forwarding behaviour at once, plus the
+//     reachability programs q4–q8.
+//   - Multi-team enterprise management (§5, Listings 3–4): the
+//     reachability/load-balancer/firewall c-tables, the constraints
+//     T1, T2, C_lb, C_s as 0-ary panic programs, and the network
+//     update used by the category (ii) test.
+//
+// It also provides concrete data-plane enumeration (evaluating each
+// possible world with pure datalog), the ground truth the
+// loss-lessness tests compare fauré-log against.
+package network
+
+import (
+	"fmt"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/solver"
+)
+
+// Link is a directed edge between two abstract forwarding entities.
+type Link struct {
+	From, To int
+}
+
+// ProtectedLink is a primary link guarded by a failure c-variable and
+// an ordered list of backup next-hops: the first backup is used when
+// the primary is down, the second when the first backup's own guard is
+// down too, and so on. In the paper's Figure 1 each protected link has
+// a single backup.
+type ProtectedLink struct {
+	Link
+	// Var names the {0,1} c-variable for the link state: 1 is normal,
+	// 0 is failed.
+	Var string
+	// Backup is the next hop used when the link is down.
+	Backup int
+}
+
+// Topology is a fast-reroute configuration: plain links that never
+// fail plus protected links with failure variables and backups.
+type Topology struct {
+	Static    []Link
+	Protected []ProtectedLink
+}
+
+// Vars returns the failure-variable names in declaration order.
+func (t *Topology) Vars() []string {
+	out := make([]string, len(t.Protected))
+	for i, p := range t.Protected {
+		out[i] = p.Var
+	}
+	return out
+}
+
+// Nodes returns the sorted distinct node ids.
+func (t *Topology) Nodes() []int {
+	set := map[int]bool{}
+	add := func(l Link) { set[l.From] = true; set[l.To] = true }
+	for _, l := range t.Static {
+		add(l)
+	}
+	for _, p := range t.Protected {
+		add(p.Link)
+		set[p.Backup] = true
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Figure1 reconstructs the paper's fast-reroute excerpt: the primary
+// chain 1→2→3→5 protected by x̄, ȳ, z̄ with backups via nodes 3 and 4,
+// and the unprotected link 4→5. Its forwarding c-table is Table 3's F
+// and its all-pairs reachability is Table 3's R.
+func Figure1() *Topology {
+	return &Topology{
+		Static: []Link{{4, 5}},
+		Protected: []ProtectedLink{
+			{Link: Link{1, 2}, Var: "x", Backup: 3},
+			{Link: Link{2, 3}, Var: "y", Backup: 4},
+			{Link: Link{3, 5}, Var: "z", Backup: 4},
+		},
+	}
+}
+
+// FlowID is the identifier used in the first column of the forwarding
+// c-table for single-flow topologies (Listing 2 writes it f).
+const FlowID = "f0"
+
+// ChainTopology builds a protected chain 1 → 2 → ... → n where every
+// hop (i, i+1) is guarded by its own failure variable l<i> and backed
+// up by a detour node n+i (i → n+i → i+1, the detour legs static).
+// Every node therefore always reaches every later node, but through
+// exponentially many primary/backup combinations — the stress shape
+// for condition management (each reachability fact accumulates one
+// choice per hop), which is where semantic absorption pays off.
+func ChainTopology(n int) *Topology {
+	t := &Topology{}
+	for i := 1; i < n; i++ {
+		detour := n + i
+		t.Protected = append(t.Protected, ProtectedLink{
+			Link:   Link{From: i, To: i + 1},
+			Var:    fmt.Sprintf("l%d", i),
+			Backup: detour,
+		})
+		t.Static = append(t.Static, Link{From: detour, To: i + 1})
+	}
+	return t
+}
+
+// ForwardingTable compiles the topology into the forwarding c-table
+// fwd(flow, node, node): packets of the flow arriving at the first
+// node are forwarded to the second. Each protected link contributes
+// the primary entry under Var = 1 and the backup entry under Var = 0
+// (the paper's Table 3 F). The returned database declares every
+// failure variable with the {0,1} domain.
+func (t *Topology) ForwardingTable(flow string) *ctable.Database {
+	db := ctable.NewDatabase()
+	tbl := ctable.NewTable("fwd", "flow", "from", "to")
+	fl := cond.Str(flow)
+	for _, l := range t.Static {
+		tbl.MustInsert(cond.True(), fl, cond.Int(int64(l.From)), cond.Int(int64(l.To)))
+	}
+	for _, p := range t.Protected {
+		db.DeclareVar(p.Var, solver.BoolDomain())
+		up := cond.Compare(cond.CVar(p.Var), cond.Eq, cond.Int(1))
+		down := cond.Compare(cond.CVar(p.Var), cond.Eq, cond.Int(0))
+		tbl.MustInsert(up, fl, cond.Int(int64(p.From)), cond.Int(int64(p.To)))
+		tbl.MustInsert(down, fl, cond.Int(int64(p.From)), cond.Int(int64(p.Backup)))
+	}
+	db.AddTable(tbl)
+	return db
+}
+
+// ConcreteForwarding returns the ordinary forwarding relation of one
+// possible world: the rows of the forwarding c-table whose condition
+// holds under the given failure assignment (1 = link normal).
+func (t *Topology) ConcreteForwarding(state map[string]int64) [][2]int {
+	var out [][2]int
+	for _, l := range t.Static {
+		out = append(out, [2]int{l.From, l.To})
+	}
+	for _, p := range t.Protected {
+		v, ok := state[p.Var]
+		if !ok {
+			v = 1
+		}
+		if v == 1 {
+			out = append(out, [2]int{p.From, p.To})
+		} else {
+			out = append(out, [2]int{p.From, p.Backup})
+		}
+	}
+	return out
+}
+
+// ConcreteReachability computes the transitive closure of one world's
+// forwarding relation — the ground truth that fauré-log's single
+// c-table query must agree with on every world.
+func ConcreteReachability(fwd [][2]int) map[[2]int]bool {
+	adj := map[int][]int{}
+	for _, e := range fwd {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	reach := map[[2]int]bool{}
+	for _, e := range fwd {
+		reach[e] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for pair := range reach {
+			for _, nxt := range adj[pair[1]] {
+				p := [2]int{pair[0], nxt}
+				if !reach[p] {
+					reach[p] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// RingTopology builds a protected ring 1 → 2 → ... → n → 1, each hop
+// guarded by its own failure variable with a static detour. Rings are
+// the stress shape for *cyclic* condition growth: a fact is
+// re-derivable by going around the loop under strictly stronger
+// conditions, which semantic absorption eliminates (on a ring it cuts
+// the derived tuple count several-fold; on the acyclic ChainTopology
+// it absorbs nothing and is pure overhead — see the Absorption
+// benches).
+func RingTopology(n int) *Topology {
+	t := &Topology{}
+	for i := 1; i <= n; i++ {
+		next := i%n + 1
+		detour := n + i
+		t.Protected = append(t.Protected, ProtectedLink{
+			Link:   Link{From: i, To: next},
+			Var:    fmt.Sprintf("l%d", i),
+			Backup: detour,
+		})
+		t.Static = append(t.Static, Link{From: detour, To: next})
+	}
+	return t
+}
+
+// ConcreteReachabilityUnder combines ConcreteForwarding and
+// ConcreteReachability for one failure assignment.
+func (t *Topology) ConcreteReachabilityUnder(state map[string]int64) map[[2]int]bool {
+	return ConcreteReachability(t.ConcreteForwarding(state))
+}
+
+// Validate sanity-checks the topology: distinct failure variables and
+// no protected link whose backup equals its primary target.
+func (t *Topology) Validate() error {
+	seen := map[string]bool{}
+	for _, p := range t.Protected {
+		if p.Var == "" {
+			return fmt.Errorf("network: protected link %d->%d has no failure variable", p.From, p.To)
+		}
+		if seen[p.Var] {
+			return fmt.Errorf("network: duplicate failure variable %q", p.Var)
+		}
+		seen[p.Var] = true
+		if p.Backup == p.To {
+			return fmt.Errorf("network: protected link %d->%d backs up onto its own target", p.From, p.To)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,633 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/containment"
+	"faure/internal/ctable"
+	"faure/internal/faurelog"
+	"faure/internal/solver"
+)
+
+func TestFigure1Topology(t *testing.T) {
+	topo := Figure1()
+	if err := topo.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := topo.Nodes(); len(got) != 5 {
+		t.Errorf("Figure 1 has 5 nodes, got %v", got)
+	}
+	if got := topo.Vars(); len(got) != 3 {
+		t.Errorf("Figure 1 has 3 failure variables, got %v", got)
+	}
+}
+
+func TestTable3ForwardingTable(t *testing.T) {
+	db := Figure1().ForwardingTable(FlowID)
+	tbl := db.Table("fwd")
+	// 3 protected links × 2 entries + 1 static link = 7 rows.
+	if tbl.Len() != 7 {
+		t.Fatalf("forwarding table should have 7 rows, got %d:\n%v", tbl.Len(), tbl)
+	}
+	// Check the Table 3 pattern: 1→2 under $x=1, 1→3 under $x=0.
+	s := solver.New(db.Doms)
+	findCond := func(from, to int64) *cond.Formula {
+		for _, tp := range tbl.Tuples {
+			if tp.Values[1].Equal(cond.Int(from)) && tp.Values[2].Equal(cond.Int(to)) {
+				return tp.Condition()
+			}
+		}
+		t.Fatalf("missing entry %d->%d", from, to)
+		return nil
+	}
+	cases := []struct {
+		from, to int64
+		want     *cond.Formula
+	}{
+		{1, 2, cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1))},
+		{1, 3, cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(0))},
+		{2, 3, cond.Compare(cond.CVar("y"), cond.Eq, cond.Int(1))},
+		{2, 4, cond.Compare(cond.CVar("y"), cond.Eq, cond.Int(0))},
+		{3, 5, cond.Compare(cond.CVar("z"), cond.Eq, cond.Int(1))},
+		{3, 4, cond.Compare(cond.CVar("z"), cond.Eq, cond.Int(0))},
+		{4, 5, cond.True()},
+	}
+	for _, c := range cases {
+		got := findCond(c.from, c.to)
+		eq, err := s.Equivalent(got, c.want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("entry %d->%d condition %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// TestTable3Reachability15 reproduces Table 3's R rows for (1, 5): the
+// four disjoint conditions under which 1 reaches 5 — and their union
+// is valid (1 always reaches 5, whatever fails).
+func TestTable3Reachability15(t *testing.T) {
+	db := Figure1().ForwardingTable(FlowID)
+	reach, _, err := Reachability(db, faurelog.Options{})
+	if err != nil {
+		t.Fatalf("Reachability: %v", err)
+	}
+	s := solver.New(db.Doms)
+	union := cond.False()
+	for _, tp := range reach.Tuples {
+		if tp.Values[1].Equal(cond.Int(1)) && tp.Values[2].Equal(cond.Int(5)) {
+			union = cond.Or(union, tp.Condition())
+		}
+	}
+	valid, err := s.Valid(union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !valid {
+		t.Errorf("1 should reach 5 in every failure world; union = %v", union)
+	}
+	// Each of the paper's four scenarios must be covered.
+	x, y, z := cond.CVar("x"), cond.CVar("y"), cond.CVar("z")
+	one, zero := cond.Int(1), cond.Int(0)
+	scenarios := []*cond.Formula{
+		cond.And(cond.Compare(x, cond.Eq, one), cond.Compare(y, cond.Eq, one), cond.Compare(z, cond.Eq, one)),
+		cond.And(cond.Compare(x, cond.Eq, zero), cond.Compare(z, cond.Eq, one)),
+		cond.And(cond.Compare(x, cond.Eq, zero), cond.Compare(z, cond.Eq, zero)),
+		cond.And(cond.Compare(x, cond.Eq, one), cond.Compare(y, cond.Eq, zero)),
+	}
+	for i, sc := range scenarios {
+		ok, err := s.Implies(sc, union)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("Table 3 scenario %d not covered by reachability conditions", i)
+		}
+	}
+	// And the paper's R row (2, 3)[ȳ = 1].
+	cond23 := cond.False()
+	for _, tp := range reach.Tuples {
+		if tp.Values[1].Equal(cond.Int(2)) && tp.Values[2].Equal(cond.Int(3)) {
+			cond23 = cond.Or(cond23, tp.Condition())
+		}
+	}
+	eq, err := s.Equivalent(cond23, cond.Compare(y, cond.Eq, one))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("R(2,3) condition %v, want $y = 1", cond23)
+	}
+}
+
+// TestLosslessness is the paper's core §4 property: querying the
+// single forwarding c-table is indistinguishable from enumerating all
+// 8 concrete data planes and querying each. For every failure world,
+// the set of reachable pairs claimed by fauré-log (tuples whose
+// condition holds in that world) must equal the concrete transitive
+// closure.
+func TestLosslessness(t *testing.T) {
+	topo := Figure1()
+	db := topo.ForwardingTable(FlowID)
+	reach, _, err := Reachability(db, faurelog.Options{})
+	if err != nil {
+		t.Fatalf("Reachability: %v", err)
+	}
+	s := solver.New(db.Doms)
+	err = s.Worlds(topo.Vars(), func(assign map[string]cond.Term) bool {
+		state := map[string]int64{}
+		for k, v := range assign {
+			state[k] = v.I
+		}
+		want := ConcreteReachability(topo.ConcreteForwarding(state))
+		got := map[[2]int]bool{}
+		for _, tp := range reach.Tuples {
+			c := tp.Condition().Subst(assign)
+			if c.IsTrue() {
+				got[[2]int{int(tp.Values[1].I), int(tp.Values[2].I)}] = true
+			} else if !c.IsFalse() {
+				t.Errorf("world %v leaves condition undecided: %v", assign, c)
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("world %v: fauré-log says %d pairs, concrete says %d", assign, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Errorf("world %v: missing pair %v", assign, p)
+			}
+		}
+		for p := range got {
+			if !want[p] {
+				t.Errorf("world %v: spurious pair %v", assign, p)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListing2FailurePatterns runs q6–q8 on Figure 1 and checks them
+// against per-world ground truth.
+func TestListing2FailurePatterns(t *testing.T) {
+	topo := Figure1()
+	db := topo.ForwardingTable(FlowID)
+	reachRes, err := faurelog.Eval(ReachabilityProgram(), db, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// q6: reachability under exactly-one-link-up.
+	res6, err := faurelog.Eval(TwoLinkFailureProgram("x", "y", "z"), reachRes.DB, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := res6.DB.Table("t1")
+
+	// q7: pinned pair (2,5) with $y = 0, nested over q6's output.
+	res7, err := faurelog.Eval(PinnedPairFailureProgram(2, 5, "y"), res6.DB, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := res7.DB.Table("t2")
+
+	// q8: from node 1 with at least one of y, z failed.
+	res8, err := faurelog.Eval(AtLeastOneFailureProgram(1, "y", "z"), reachRes.DB, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3 := res8.DB.Table("t3")
+
+	s := solver.New(db.Doms)
+	check := func(name string, tbl *ctable.Table, wantPair func(w map[string]int64, from, to int) bool) {
+		t.Helper()
+		err := s.Worlds(topo.Vars(), func(assign map[string]cond.Term) bool {
+			w := map[string]int64{}
+			for k, v := range assign {
+				w[k] = v.I
+			}
+			concrete := ConcreteReachability(topo.ConcreteForwarding(w))
+			got := map[[2]int]bool{}
+			for _, tp := range tbl.Tuples {
+				c := tp.Condition().Subst(assign)
+				if c.IsTrue() {
+					got[[2]int{int(tp.Values[1].I), int(tp.Values[2].I)}] = true
+				}
+			}
+			for pair := range concrete {
+				want := wantPair(w, pair[0], pair[1])
+				if want != got[pair] {
+					t.Errorf("%s world %v pair %v: got %v want %v", name, w, pair, got[pair], want)
+				}
+			}
+			for pair := range got {
+				if !concrete[pair] {
+					t.Errorf("%s world %v: spurious pair %v", name, w, pair)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("q6", t1, func(w map[string]int64, from, to int) bool {
+		return w["x"]+w["y"]+w["z"] == 1
+	})
+	check("q7", t2, func(w map[string]int64, from, to int) bool {
+		return w["x"]+w["y"]+w["z"] == 1 && w["y"] == 0 && from == 2 && to == 5
+	})
+	check("q8", t3, func(w map[string]int64, from, to int) bool {
+		return w["y"]+w["z"] < 2 && from == 1
+	})
+}
+
+func TestConcreteForwardingDefaults(t *testing.T) {
+	topo := Figure1()
+	// Missing state entries default to "link up".
+	fwd := topo.ConcreteForwarding(map[string]int64{})
+	has := func(a, b int) bool {
+		for _, e := range fwd {
+			if e[0] == a && e[1] == b {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(1, 2) || has(1, 3) {
+		t.Errorf("default state should use primary links: %v", fwd)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	bad := &Topology{Protected: []ProtectedLink{
+		{Link: Link{1, 2}, Var: "x", Backup: 3},
+		{Link: Link{2, 3}, Var: "x", Backup: 4},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Errorf("duplicate variable should be rejected")
+	}
+	bad2 := &Topology{Protected: []ProtectedLink{{Link: Link{1, 2}, Var: "", Backup: 3}}}
+	if err := bad2.Validate(); err == nil {
+		t.Errorf("empty variable should be rejected")
+	}
+	bad3 := &Topology{Protected: []ProtectedLink{{Link: Link{1, 2}, Var: "x", Backup: 2}}}
+	if err := bad3.Validate(); err == nil {
+		t.Errorf("self-backup should be rejected")
+	}
+}
+
+func TestEnterpriseStateSatisfiesConstraints(t *testing.T) {
+	// Covered in depth by package verify; here just check the state
+	// builds and the unknown row is present when requested.
+	db := EnterpriseState(true)
+	if db.Table("r").Len() != 5 {
+		t.Errorf("r should have 5 rows with the unknown, got %d", db.Table("r").Len())
+	}
+	db2 := EnterpriseState(false)
+	if db2.Table("r").Len() != 4 {
+		t.Errorf("r should have 4 rows without the unknown, got %d", db2.Table("r").Len())
+	}
+}
+
+func TestForwardingTableCustomTopology(t *testing.T) {
+	topo := &Topology{
+		Static: []Link{{10, 11}},
+		Protected: []ProtectedLink{
+			{Link: Link{11, 12}, Var: "a", Backup: 13},
+		},
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	db := topo.ForwardingTable("flow9")
+	if db.Table("fwd").Len() != 3 {
+		t.Errorf("expected 3 forwarding rows, got %d", db.Table("fwd").Len())
+	}
+	if _, ok := db.Doms["a"]; !ok {
+		t.Errorf("failure variable not declared")
+	}
+	_ = fmt.Sprintf("%v", db)
+}
+
+func TestChainTopology(t *testing.T) {
+	topo := ChainTopology(5)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Protected) != 4 || len(topo.Static) != 4 {
+		t.Fatalf("chain-5 should have 4 protected + 4 static links: %+v", topo)
+	}
+	db := topo.ForwardingTable(FlowID)
+	reach, _, err := Reachability(db, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 always reaches 5, whatever fails.
+	s := solver.New(db.Doms)
+	union := cond.False()
+	for _, tp := range reach.Tuples {
+		if tp.Values[1].Equal(cond.Int(1)) && tp.Values[2].Equal(cond.Int(5)) {
+			union = cond.Or(union, tp.Condition())
+		}
+	}
+	valid, err := s.Valid(union)
+	if err != nil || !valid {
+		t.Errorf("1 should always reach 5 on the protected chain (%v)", err)
+	}
+}
+
+// TestChainLosslessnessSampled checks a sample of failure worlds on a
+// longer chain against concrete computation.
+func TestChainLosslessnessSampled(t *testing.T) {
+	topo := ChainTopology(6)
+	db := topo.ForwardingTable(FlowID)
+	reach, _, err := Reachability(db, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := topo.Vars()
+	for _, pattern := range []int{0, 1, 5, 10, 21, 31} {
+		assign := map[string]cond.Term{}
+		state := map[string]int64{}
+		for i, v := range vars {
+			bit := int64((pattern >> i) & 1)
+			assign[v] = cond.Int(bit)
+			state[v] = bit
+		}
+		want := topo.ConcreteReachabilityUnder(state)
+		got := map[[2]int]bool{}
+		for _, tp := range reach.Tuples {
+			c := tp.Condition().Subst(assign)
+			if c.IsTrue() {
+				got[[2]int{int(tp.Values[1].I), int(tp.Values[2].I)}] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Errorf("pattern %05b: got %d pairs, want %d", pattern, len(got), len(want))
+		}
+		for p := range want {
+			if !got[p] {
+				t.Errorf("pattern %05b: missing %v", pattern, p)
+			}
+		}
+	}
+}
+
+func TestRingTopology(t *testing.T) {
+	topo := RingTopology(4)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Protected) != 4 || len(topo.Static) != 4 {
+		t.Fatalf("ring-4 shape wrong: %+v", topo)
+	}
+	db := topo.ForwardingTable(FlowID)
+	reach, _, err := Reachability(db, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a protected ring with detours, every node always reaches every
+	// other node.
+	s := solver.New(db.Doms)
+	for src := 1; src <= 4; src++ {
+		for dst := 1; dst <= 4; dst++ {
+			if src == dst {
+				continue
+			}
+			union := cond.False()
+			for _, tp := range reach.Tuples {
+				if tp.Values[1].Equal(cond.Int(int64(src))) && tp.Values[2].Equal(cond.Int(int64(dst))) {
+					union = cond.Or(union, tp.Condition())
+				}
+			}
+			valid, err := s.Valid(union)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !valid {
+				t.Errorf("%d should always reach %d on the ring", src, dst)
+			}
+		}
+	}
+}
+
+// TestRingAbsorptionSemantics: absorption changes tuple counts but not
+// semantics on a cyclic topology.
+func TestRingAbsorptionSemantics(t *testing.T) {
+	topo := RingTopology(4)
+	db := topo.ForwardingTable(FlowID)
+	withA, _, err := Reachability(db, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, _, err := Reachability(db, faurelog.Options{NoAbsorb: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withA.Len() >= without.Len() {
+		t.Errorf("absorption should shrink the ring result: %d vs %d", withA.Len(), without.Len())
+	}
+	s := solver.New(db.Doms)
+	unions := func(tbl *ctable.Table) map[string]*cond.Formula {
+		m := map[string]*cond.Formula{}
+		for _, tp := range tbl.Tuples {
+			k := tp.DataKey()
+			c := m[k]
+			if c == nil {
+				c = cond.False()
+			}
+			m[k] = cond.Or(c, tp.Condition())
+		}
+		return m
+	}
+	a, b := unions(withA), unions(without)
+	for k, ca := range a {
+		eq, err := s.Equivalent(ca, b[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Errorf("tuple %s: conditions diverge", k)
+		}
+	}
+	for k, cb := range b {
+		if _, ok := a[k]; !ok {
+			sat, _ := s.Satisfiable(cb)
+			if sat {
+				t.Errorf("no-absorb has extra satisfiable tuple %s", k)
+			}
+		}
+	}
+}
+
+// TestTeamScenarioSubsumption: the network-wide firewall target is
+// subsumed by the union of the k per-team policies — and stops being
+// subsumed when any team's policy is dropped.
+func TestTeamScenarioSubsumption(t *testing.T) {
+	for _, k := range []int{1, 2, 4} {
+		sc := NewTeamScenario(k)
+		res, err := containment.Subsumes(sc.Target, sc.Known, sc.Doms, sc.Schema)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if !res.Contained {
+			t.Errorf("k=%d: target should be subsumed by all %d team policies", k, k)
+		}
+		if k > 1 {
+			res, err = containment.Subsumes(sc.Target, sc.Known[1:], sc.Doms, sc.Schema)
+			if err != nil {
+				t.Fatalf("k=%d partial: %v", k, err)
+			}
+			if res.Contained {
+				t.Errorf("k=%d: dropping team 0's policy must break subsumption", k)
+			}
+		}
+	}
+}
+
+// TestFailurePatterns: the generated patterns agree with the
+// hand-written Listing 2 queries on Figure 1.
+func TestFailurePatterns(t *testing.T) {
+	topo := Figure1()
+	db := topo.ForwardingTable(FlowID)
+	reachRes, err := faurelog.Eval(ReachabilityProgram(), db, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars := topo.Vars()
+
+	// Generated q6 ≡ hand-written q6.
+	gen, err := PatternProgram("t1", "reach", ExactlyUp(vars, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRes, err := faurelog.Eval(gen, reachRes.DB, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	handRes, err := faurelog.Eval(TwoLinkFailureProgram("x", "y", "z"), reachRes.DB, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genRes.DB.Table("t1").Len() != handRes.DB.Table("t1").Len() {
+		t.Errorf("generated q6 has %d tuples, hand-written %d",
+			genRes.DB.Table("t1").Len(), handRes.DB.Table("t1").Len())
+	}
+
+	// Pattern conditions: "at least 1 of {y, z} failed" matches q8's
+	// condition semantics.
+	pc, err := PatternCondition(AtLeastFailures([]string{"y", "z"}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := solver.New(db.Doms)
+	want, err := faurelog.ParseCondition(`$y+$z < 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := s.Equivalent(pc, want)
+	if err != nil || !eq {
+		t.Errorf("AtLeastFailures(%v, 1) = %v, want equivalent to %v", []string{"y", "z"}, pc, want)
+	}
+
+	// Composition: q7 = exactly-one-up plus link (2,3) down.
+	comp, err := PatternCondition(ExactlyUp(vars, 1), LinkDown("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the worlds {x+y+z=1, y=0}: enumerate and count (should
+	// be 2: x=1 or z=1).
+	count := 0
+	err = s.Worlds(vars, func(m map[string]cond.Term) bool {
+		if comp.Subst(m).IsTrue() {
+			count++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("q7 pattern should hold in 2 worlds, got %d", count)
+	}
+
+	// AtMostFailures complements AtLeastFailures.
+	amf, err := PatternCondition(AtMostFailures(vars, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alf2, err := PatternCondition(AtLeastFailures(vars, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := cond.And(amf, alf2)
+	sat, err := s.Satisfiable(both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat {
+		t.Errorf("at-most-1 and at-least-2 failures cannot overlap")
+	}
+
+	// LinkUp/LinkDown are complementary.
+	up, _ := PatternCondition(LinkUp("x"))
+	down, _ := PatternCondition(LinkDown("x"))
+	sat, err = s.Satisfiable(cond.And(up, down))
+	if err != nil || sat {
+		t.Errorf("LinkUp && LinkDown should be unsat (%v)", err)
+	}
+
+	// Empty pattern list is an error.
+	if _, err := PatternProgram("t", "reach"); err == nil {
+		t.Errorf("empty pattern list should error")
+	}
+}
+
+// TestParseTopologyRoundTrip: Figure 1 formats and re-parses.
+func TestParseTopologyRoundTrip(t *testing.T) {
+	orig := Figure1()
+	text := FormatTopology(orig)
+	parsed, err := ParseTopology(text)
+	if err != nil {
+		t.Fatalf("ParseTopology: %v\n%s", err, text)
+	}
+	if FormatTopology(parsed) != text {
+		t.Errorf("round trip unstable:\n%s\nvs\n%s", text, FormatTopology(parsed))
+	}
+	if len(parsed.Protected) != 3 || len(parsed.Static) != 1 {
+		t.Errorf("parsed shape wrong: %+v", parsed)
+	}
+	// Same forwarding behaviour.
+	a := orig.ForwardingTable(FlowID)
+	b := parsed.ForwardingTable(FlowID)
+	if a.Table("fwd").Len() != b.Table("fwd").Len() {
+		t.Errorf("forwarding differs after round trip")
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, src := range []string{
+		`protect 1 -> 2`,                 // missing var/backup
+		`protect 1 -> 2 var x backup 3`,  // var must be a c-variable
+		`protect 1 2 var $x backup 3`,    // missing arrow
+		`static 1`,                       // missing arrow/target
+		`link 1 -> 2`,                    // unknown keyword
+		`protect 1 -> 2 var $x backup 2`, // backup onto target (Validate)
+		"protect 1 -> 2 var $x backup 3\nprotect 2 -> 3 var $x backup 4", // duplicate var
+	} {
+		if _, err := ParseTopology(src); err == nil {
+			t.Errorf("topology %q should fail to parse", src)
+		}
+	}
+	// Comments and blank lines are fine.
+	topo, err := ParseTopology("# c\n\n% c2\nstatic 1 -> 2\n")
+	if err != nil || len(topo.Static) != 1 {
+		t.Errorf("comment handling broken: %v", err)
+	}
+}

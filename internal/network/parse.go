@@ -1,0 +1,123 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"faure/internal/lang"
+)
+
+// ParseTopology reads a fast-reroute topology description:
+//
+//	# primary links with failure variables and backup next-hops
+//	protect 1 -> 2 var $x backup 3
+//	protect 2 -> 3 var $y backup 4
+//	# links that never fail
+//	static 4 -> 5
+//
+// Comments (# or %) and blank lines are allowed. FormatTopology is the
+// inverse.
+func ParseTopology(src string) (*Topology, error) {
+	toks, err := lang.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	t := &Topology{}
+	pos := 0
+	peek := func() lang.Token { return toks[pos] }
+	next := func() lang.Token {
+		tk := toks[pos]
+		if tk.Kind != lang.TEOF {
+			pos++
+		}
+		return tk
+	}
+	expectInt := func(what string) (int, error) {
+		tk := next()
+		if tk.Kind != lang.TInt {
+			return 0, lang.Errorf(tk, "expected %s (a node id), found %s", what, tk)
+		}
+		return int(tk.Int), nil
+	}
+	expectArrow := func() error {
+		tk := next()
+		if !tk.Is("-") {
+			return lang.Errorf(tk, "expected '->', found %s", tk)
+		}
+		tk = next()
+		if !tk.Is(">") {
+			return lang.Errorf(tk, "expected '->', found %s", tk)
+		}
+		return nil
+	}
+	for peek().Kind != lang.TEOF {
+		tk := next()
+		switch {
+		case tk.IsIdent("protect"):
+			from, err := expectInt("source")
+			if err != nil {
+				return nil, err
+			}
+			if err := expectArrow(); err != nil {
+				return nil, err
+			}
+			to, err := expectInt("target")
+			if err != nil {
+				return nil, err
+			}
+			kw := next()
+			if !kw.IsIdent("var") {
+				return nil, lang.Errorf(kw, "expected 'var', found %s", kw)
+			}
+			v := next()
+			if v.Kind != lang.TCVar {
+				return nil, lang.Errorf(v, "expected failure c-variable, found %s", v)
+			}
+			kw = next()
+			if !kw.IsIdent("backup") {
+				return nil, lang.Errorf(kw, "expected 'backup', found %s", kw)
+			}
+			backup, err := expectInt("backup next-hop")
+			if err != nil {
+				return nil, err
+			}
+			t.Protected = append(t.Protected, ProtectedLink{
+				Link:   Link{From: from, To: to},
+				Var:    v.Text,
+				Backup: backup,
+			})
+		case tk.IsIdent("static"):
+			from, err := expectInt("source")
+			if err != nil {
+				return nil, err
+			}
+			if err := expectArrow(); err != nil {
+				return nil, err
+			}
+			to, err := expectInt("target")
+			if err != nil {
+				return nil, err
+			}
+			t.Static = append(t.Static, Link{From: from, To: to})
+		default:
+			return nil, lang.Errorf(tk, "expected 'protect' or 'static', found %s", tk)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FormatTopology renders the topology in the format ParseTopology
+// reads.
+func FormatTopology(t *Topology) string {
+	var b strings.Builder
+	for _, p := range t.Protected {
+		fmt.Fprintf(&b, "protect %d -> %d var $%s backup %d\n", p.From, p.To, p.Var, p.Backup)
+	}
+	for _, l := range t.Static {
+		fmt.Fprintf(&b, "static %d -> %d\n", l.From, l.To)
+	}
+	return b.String()
+}

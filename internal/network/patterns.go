@@ -1,0 +1,91 @@
+package network
+
+import (
+	"fmt"
+	"strings"
+
+	"faure/internal/cond"
+	"faure/internal/faurelog"
+)
+
+// FailurePattern builds the condition expressions Listing 2 writes by
+// hand (x̄+ȳ+z̄ = 1, ȳ+z̄ < 2, ȳ = 0) programmatically over any set of
+// link-state variables, so analyses can be generated for arbitrary
+// topologies instead of hard-coding three names.
+type FailurePattern struct {
+	expr string
+}
+
+// condExpr returns the pattern as fauré-log condition text.
+func (p FailurePattern) condExpr() string { return p.expr }
+
+// String renders the pattern.
+func (p FailurePattern) String() string { return p.expr }
+
+func sumOf(vars []string) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = "$" + v
+	}
+	return strings.Join(parts, "+")
+}
+
+// ExactlyUp is "exactly k of the links are up": sum = k (the paper's
+// q6 with k = 1 over three links, i.e. a 2-link failure).
+func ExactlyUp(vars []string, k int) FailurePattern {
+	return FailurePattern{expr: fmt.Sprintf("%s = %d", sumOf(vars), k)}
+}
+
+// AtMostFailures is "at most k of the links have failed":
+// sum >= len(vars)-k.
+func AtMostFailures(vars []string, k int) FailurePattern {
+	return FailurePattern{expr: fmt.Sprintf("%s >= %d", sumOf(vars), len(vars)-k)}
+}
+
+// AtLeastFailures is "at least k of the links have failed":
+// sum <= len(vars)-k (the paper's q8 with k = 1 over two links).
+func AtLeastFailures(vars []string, k int) FailurePattern {
+	return FailurePattern{expr: fmt.Sprintf("%s <= %d", sumOf(vars), len(vars)-k)}
+}
+
+// LinkDown pins one link failed (the paper's q7 conjunct ȳ = 0).
+func LinkDown(v string) FailurePattern {
+	return FailurePattern{expr: fmt.Sprintf("$%s = 0", v)}
+}
+
+// LinkUp pins one link alive.
+func LinkUp(v string) FailurePattern {
+	return FailurePattern{expr: fmt.Sprintf("$%s = 1", v)}
+}
+
+// PatternProgram builds the fauré-log query that restricts a
+// reachability relation to the conjunction of failure patterns:
+//
+//	out(f, a, b) :- reach(f, a, b), <p1>, <p2>, ...
+func PatternProgram(out, reach string, patterns ...FailurePattern) (*faurelog.Program, error) {
+	if len(patterns) == 0 {
+		return nil, fmt.Errorf("network: at least one failure pattern required")
+	}
+	parts := make([]string, 0, len(patterns)+1)
+	parts = append(parts, fmt.Sprintf("%s(f, a, b)", reach))
+	for _, p := range patterns {
+		parts = append(parts, p.condExpr())
+	}
+	src := fmt.Sprintf("%s(f, a, b) :- %s.", out, strings.Join(parts, ", "))
+	return faurelog.Parse(src)
+}
+
+// PatternCondition builds the pattern conjunction as a plain condition
+// formula, for direct solver queries ("in how many failure worlds does
+// this hold?").
+func PatternCondition(patterns ...FailurePattern) (*cond.Formula, error) {
+	out := cond.True()
+	for _, p := range patterns {
+		f, err := faurelog.ParseCondition(p.condExpr())
+		if err != nil {
+			return nil, err
+		}
+		out = cond.And(out, f)
+	}
+	return out, nil
+}

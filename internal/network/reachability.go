@@ -1,0 +1,48 @@
+package network
+
+import (
+	"fmt"
+
+	"faure/internal/ctable"
+	"faure/internal/faurelog"
+)
+
+// ReachabilityProgram is Listing 2's q4–q5: all-pairs reachability as
+// a recursive fauré-log query over the forwarding c-table
+// fwd(flow, from, to), deriving reach(flow, from, to).
+func ReachabilityProgram() *faurelog.Program {
+	return faurelog.MustParse(`
+		reach(f, n1, n2) :- fwd(f, n1, n2).
+		reach(f, n1, n2) :- fwd(f, n1, n3), reach(f, n3, n2).
+	`)
+}
+
+// TwoLinkFailureProgram is Listing 2's q6: reachability under the
+// 2-link-failure pattern x̄+ȳ+z̄ = 1 (exactly one of the three named
+// protected links is up). The variable names parameterise the pattern.
+func TwoLinkFailureProgram(x, y, z string) *faurelog.Program {
+	return faurelog.MustParse(fmt.Sprintf(
+		`t1(f, n1, n2) :- reach(f, n1, n2), $%s+$%s+$%s = 1.`, x, y, z))
+}
+
+// PinnedPairFailureProgram is Listing 2's q7: a nested query over q6's
+// output restricting to reachability between two given nodes with one
+// failed link pinned (ȳ = 0).
+func PinnedPairFailureProgram(src, dst int, y string) *faurelog.Program {
+	return faurelog.MustParse(fmt.Sprintf(
+		`t2(f, %d, %d) :- t1(f, %d, %d), $%s = 0.`, src, dst, src, dst, y))
+}
+
+// AtLeastOneFailureProgram is Listing 2's q8: reachability from the
+// given source with at least one of the two named links failed
+// (ȳ+z̄ < 2).
+func AtLeastOneFailureProgram(src int, y, z string) *faurelog.Program {
+	return faurelog.MustParse(fmt.Sprintf(
+		`t3(f, %d, n2) :- reach(f, %d, n2), $%s+$%s < 2.`, src, src, y, z))
+}
+
+// Reachability runs q4–q5 over the database and returns the reach
+// table together with the evaluation result (for statistics).
+func Reachability(db *ctable.Database, opts faurelog.Options) (*ctable.Table, *faurelog.Result, error) {
+	return faurelog.EvalQuery(ReachabilityProgram(), db, "reach", opts)
+}

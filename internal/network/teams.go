@@ -1,0 +1,54 @@
+package network
+
+import (
+	"fmt"
+
+	"faure/internal/cond"
+	"faure/internal/containment"
+	"faure/internal/solver"
+)
+
+// TeamScenario scales the §5 story to k teams: team i owns the
+// frontend subnet Net<i> and maintains the policy "traffic from my
+// subnet must pass a firewall". The network-wide target — *all*
+// traffic passes a firewall — is subsumed by the union of the team
+// policies exactly because the subnet attribute's c-domain is the k
+// team subnets: the containment check must case-split the frozen
+// subnet variable across every team policy. This is the stress shape
+// for the category (i) verifier (cost grows with k), used by the
+// verification scale benches.
+type TeamScenario struct {
+	// Target is the network-wide constraint.
+	Target containment.Constraint
+	// Known are the k per-team policies.
+	Known []containment.Constraint
+	// Doms and Schema type the shared attributes.
+	Doms   solver.Domains
+	Schema *containment.Schema
+}
+
+// NewTeamScenario builds the k-team scenario.
+func NewTeamScenario(k int) *TeamScenario {
+	subnets := make([]cond.Term, k)
+	for i := range subnets {
+		subnets[i] = cond.Str(fmt.Sprintf("Net%d", i))
+	}
+	servers := []cond.Term{cond.Str(CS), cond.Str(GS)}
+	ports := []cond.Term{cond.Int(80), cond.Int(7000)}
+
+	sc := &TeamScenario{
+		Doms: solver.Domains{},
+		Schema: &containment.Schema{ColDomains: map[string][]solver.Domain{
+			"r":  {solver.EnumDomain(subnets...), solver.EnumDomain(servers...), solver.EnumDomain(ports...)},
+			"fw": {solver.EnumDomain(subnets...), solver.EnumDomain(servers...)},
+		}},
+	}
+	sc.Target = containment.MustConstraint("T_all",
+		`panic() :- r(x, y, p), not fw(x, y).`)
+	for i := 0; i < k; i++ {
+		name := fmt.Sprintf("C_team%d", i)
+		src := fmt.Sprintf(`panic() :- r(Net%d, y, p), not fw(Net%d, y).`, i, i)
+		sc.Known = append(sc.Known, containment.MustConstraint(name, src))
+	}
+	return sc
+}

@@ -1,0 +1,177 @@
+// Package relstore is the in-memory relational substrate fauré-log
+// evaluation runs on — the reproduction's stand-in for the PostgreSQL
+// backend of the paper's implementation. It stores c-table relations
+// with per-column hash indexes over constant values and keeps, per
+// column, the list of tuples holding a c-variable there (which can
+// match any constant subject to a condition, so every constant probe
+// must also consider them).
+package relstore
+
+import (
+	"fmt"
+	"sort"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+)
+
+// Relation is an indexed c-table.
+type Relation struct {
+	Name   string
+	Arity  int
+	tuples []ctable.Tuple
+	// colConst[c][key] lists tuple indexes whose value at column c is
+	// the constant with that key; colCVar[c] lists tuple indexes whose
+	// value at column c is a c-variable.
+	colConst []map[string][]int
+	colCVar  [][]int
+
+	// Stats
+	Probes int // indexed constant probes served
+	Scans  int // full scans served
+}
+
+// NewRelation returns an empty indexed relation.
+func NewRelation(name string, arity int) *Relation {
+	r := &Relation{Name: name, Arity: arity}
+	r.colConst = make([]map[string][]int, arity)
+	r.colCVar = make([][]int, arity)
+	for i := range r.colConst {
+		r.colConst[i] = map[string][]int{}
+	}
+	return r
+}
+
+// FromTable indexes an existing c-table.
+func FromTable(t *ctable.Table) *Relation {
+	r := NewRelation(t.Schema.Name, t.Schema.Arity())
+	for _, tp := range t.Tuples {
+		r.Insert(tp)
+	}
+	return r
+}
+
+func constKey(t cond.Term) string { return t.String() }
+
+// Insert adds a tuple and indexes its columns.
+func (r *Relation) Insert(tp ctable.Tuple) error {
+	if len(tp.Values) != r.Arity {
+		return fmt.Errorf("relstore: arity mismatch inserting into %s: got %d, want %d", r.Name, len(tp.Values), r.Arity)
+	}
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, tp)
+	for c, v := range tp.Values {
+		if v.IsCVar() {
+			r.colCVar[c] = append(r.colCVar[c], idx)
+		} else {
+			k := constKey(v)
+			r.colConst[c][k] = append(r.colConst[c][k], idx)
+		}
+	}
+	return nil
+}
+
+// Len returns the tuple count.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuple returns the i-th tuple.
+func (r *Relation) Tuple(i int) ctable.Tuple { return r.tuples[i] }
+
+// All returns every tuple index (a full scan).
+func (r *Relation) All() []int {
+	r.Scans++
+	out := make([]int, len(r.tuples))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Candidates returns the indexes of tuples that could match the given
+// constant at the given column: the indexed constant bucket plus every
+// tuple holding a c-variable there (such a tuple matches when its
+// condition admits cvar = key). The returned slice may alias internal
+// index storage; callers must not mutate it.
+func (r *Relation) Candidates(col int, key cond.Term) []int {
+	if key.IsCVar() || col < 0 || col >= r.Arity {
+		return r.All()
+	}
+	r.Probes++
+	consts := r.colConst[col][constKey(key)]
+	cvars := r.colCVar[col]
+	if len(cvars) == 0 {
+		return consts
+	}
+	if len(consts) == 0 {
+		return cvars
+	}
+	out := make([]int, 0, len(consts)+len(cvars))
+	out = append(out, consts...)
+	out = append(out, cvars...)
+	return out
+}
+
+// Table materialises the relation back into a c-table.
+func (r *Relation) Table(attrs []string) *ctable.Table {
+	if attrs == nil {
+		attrs = make([]string, r.Arity)
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("a%d", i)
+		}
+	}
+	t := &ctable.Table{Schema: ctable.Schema{Name: r.Name, Attrs: attrs}}
+	t.Tuples = append(t.Tuples, r.tuples...)
+	return t
+}
+
+// Store is a set of indexed relations.
+type Store struct {
+	rels map[string]*Relation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rels: map[string]*Relation{}} }
+
+// FromDatabase indexes every table of a c-table database.
+func FromDatabase(db *ctable.Database) *Store {
+	s := NewStore()
+	for _, t := range db.Tables {
+		s.rels[t.Schema.Name] = FromTable(t)
+	}
+	return s
+}
+
+// Rel returns the named relation, or nil.
+func (s *Store) Rel(name string) *Relation { return s.rels[name] }
+
+// Ensure returns the named relation, creating it when missing.
+func (s *Store) Ensure(name string, arity int) *Relation {
+	r, ok := s.rels[name]
+	if !ok {
+		r = NewRelation(name, arity)
+		s.rels[name] = r
+	}
+	return r
+}
+
+// Replace swaps in a rebuilt relation under the given name.
+func (s *Store) Replace(name string, r *Relation) { s.rels[name] = r }
+
+// Names returns the sorted relation names.
+func (s *Store) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for n := range s.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalTuples sums the tuple counts over all relations.
+func (s *Store) TotalTuples() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}

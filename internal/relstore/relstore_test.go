@@ -1,0 +1,105 @@
+package relstore
+
+import (
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+)
+
+func sampleRelation(t *testing.T) *Relation {
+	t.Helper()
+	r := NewRelation("f", 2)
+	ins := func(c *cond.Formula, vs ...cond.Term) {
+		t.Helper()
+		if err := r.Insert(ctable.NewTuple(vs, c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ins(nil, cond.Int(1), cond.Int(2))
+	ins(nil, cond.Int(1), cond.Int(3))
+	ins(nil, cond.Int(2), cond.Int(3))
+	ins(cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1)), cond.CVar("n"), cond.Int(9))
+	return r
+}
+
+func TestInsertArity(t *testing.T) {
+	r := NewRelation("f", 2)
+	if err := r.Insert(ctable.NewTuple([]cond.Term{cond.Int(1)}, nil)); err == nil {
+		t.Errorf("arity mismatch should error")
+	}
+}
+
+func TestCandidatesConstProbe(t *testing.T) {
+	r := sampleRelation(t)
+	// Probe column 0 for constant 1: two constant matches plus the
+	// c-variable tuple.
+	got := r.Candidates(0, cond.Int(1))
+	if len(got) != 3 {
+		t.Fatalf("Candidates = %v, want 3 entries", got)
+	}
+	// Probe for a constant with no matches: only the c-var tuple.
+	got = r.Candidates(0, cond.Int(99))
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Candidates(99) = %v, want [3]", got)
+	}
+	// Column 1 constant 9: one tuple, no c-vars there.
+	got = r.Candidates(1, cond.Int(9))
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("Candidates(col1, 9) = %v", got)
+	}
+}
+
+func TestCandidatesCVarKeyFallsBackToScan(t *testing.T) {
+	r := sampleRelation(t)
+	got := r.Candidates(0, cond.CVar("z"))
+	if len(got) != r.Len() {
+		t.Errorf("c-var key should scan everything, got %v", got)
+	}
+}
+
+func TestCandidatesStats(t *testing.T) {
+	r := sampleRelation(t)
+	r.Candidates(0, cond.Int(1))
+	r.All()
+	if r.Probes != 1 || r.Scans != 1 {
+		t.Errorf("stats = probes %d scans %d", r.Probes, r.Scans)
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	db := ctable.NewDatabase()
+	tbl := ctable.NewTable("f", "a", "b")
+	tbl.MustInsert(nil, cond.Int(1), cond.Int(2))
+	db.AddTable(tbl)
+	s := FromDatabase(db)
+	if s.Rel("f") == nil || s.Rel("f").Len() != 1 {
+		t.Fatalf("store missing relation")
+	}
+	if s.Rel("nope") != nil {
+		t.Errorf("unknown relation should be nil")
+	}
+	out := s.Rel("f").Table([]string{"a", "b"})
+	if out.Len() != 1 || out.Schema.Name != "f" {
+		t.Errorf("Table round trip: %v", out)
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "f" {
+		t.Errorf("Names = %v", got)
+	}
+	if s.TotalTuples() != 1 {
+		t.Errorf("TotalTuples = %d", s.TotalTuples())
+	}
+}
+
+func TestEnsureAndReplace(t *testing.T) {
+	s := NewStore()
+	r := s.Ensure("r", 1)
+	if s.Ensure("r", 1) != r {
+		t.Errorf("Ensure should return the existing relation")
+	}
+	nr := NewRelation("r", 1)
+	s.Replace("r", nr)
+	if s.Rel("r") != nr {
+		t.Errorf("Replace did not swap the relation")
+	}
+}

@@ -1,0 +1,89 @@
+package rewrite
+
+import (
+	"faure/internal/cond"
+	"faure/internal/lang"
+)
+
+// ParseUpdate reads an update in the textual format:
+//
+//	+lb('R&D', GS).      % insert a tuple
+//	-lb(Mkt, CS).        % delete a tuple
+//	+r(Mkt, CS, $p).     % values may be c-variables
+//
+// Each line is a signed fact; comments and blank lines are allowed.
+func ParseUpdate(src string) (Update, error) {
+	toks, err := lang.Lex(src)
+	if err != nil {
+		return Update{}, err
+	}
+	var u Update
+	pos := 0
+	peek := func() lang.Token { return toks[pos] }
+	next := func() lang.Token {
+		t := toks[pos]
+		if t.Kind != lang.TEOF {
+			pos++
+		}
+		return t
+	}
+	for peek().Kind != lang.TEOF {
+		var insert bool
+		switch {
+		case peek().Is("+"):
+			insert = true
+			next()
+		case peek().Is("-"):
+			next()
+		default:
+			return Update{}, lang.Errorf(peek(), "expected '+' (insert) or '-' (delete), found %s", peek())
+		}
+		t := next()
+		if t.Kind != lang.TIdent {
+			return Update{}, lang.Errorf(t, "expected relation name, found %s", t)
+		}
+		ch := Change{Pred: t.Text}
+		if tok := next(); !tok.Is("(") {
+			return Update{}, lang.Errorf(tok, "expected '(', found %s", tok)
+		}
+		if !peek().Is(")") {
+			for {
+				vt := next()
+				var v cond.Term
+				switch vt.Kind {
+				case lang.TInt:
+					v = cond.Int(vt.Int)
+				case lang.TString:
+					v = cond.Str(vt.Text)
+				case lang.TCVar:
+					v = cond.CVar(vt.Text)
+				case lang.TIdent:
+					if lang.IsVariableName(vt.Text) {
+						return Update{}, lang.Errorf(vt, "update values must be constants or c-variables, found variable %s", vt)
+					}
+					v = cond.Str(vt.Text)
+				default:
+					return Update{}, lang.Errorf(vt, "expected value, found %s", vt)
+				}
+				ch.Values = append(ch.Values, v)
+				if peek().Is(",") {
+					next()
+					continue
+				}
+				break
+			}
+		}
+		if tok := next(); !tok.Is(")") {
+			return Update{}, lang.Errorf(tok, "expected ')', found %s", tok)
+		}
+		if tok := next(); !tok.Is(".") {
+			return Update{}, lang.Errorf(tok, "expected '.', found %s", tok)
+		}
+		if insert {
+			u.Inserts = append(u.Inserts, ch)
+		} else {
+			u.Deletes = append(u.Deletes, ch)
+		}
+	}
+	return u, nil
+}

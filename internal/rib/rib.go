@@ -1,0 +1,348 @@
+// Package rib generates and parses the synthetic BGP RIB workload
+// behind the paper's Table 4 evaluation.
+//
+// The paper infers forwarding configurations from the route-views2
+// RIB of 2021-06-10: for each prefix it randomly selects 5 AS paths,
+// designates one as primary and orders the rest by (random) backup
+// preference, so that a backup is used only when the primary and all
+// higher-preference backups have failed. This package reproduces that
+// construction synthetically (the RIB itself is proprietary-scale
+// public data we replace, per DESIGN.md): prefixes are generated with
+// AS paths whose lengths follow a realistic BGP distribution, and the
+// same primary/backup preference scheme is applied.
+//
+// Failure modelling: each path is guarded by a {0,1} c-variable drawn
+// from a fixed pool of link-state variables (1 = up). The first three
+// pool variables are named x, y and z — the protected links that
+// Listing 2's failure patterns q6–q8 reference — so the paper's
+// queries run unchanged over the generated state. Pool size is
+// configurable; small pools make the failure patterns genuinely
+// interact with the forwarding conditions.
+package rib
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/solver"
+)
+
+// Config tunes the generator. The zero value is completed by
+// (*Config).withDefaults.
+type Config struct {
+	// Prefixes is the number of prefixes to generate (the paper's
+	// #prefix column).
+	Prefixes int
+	// PathsPerPrefix is the number of AS paths per prefix (the paper
+	// uses 5: one primary plus four preference-ordered backups).
+	PathsPerPrefix int
+	// ASCount is the size of the AS number space paths draw from; 0
+	// scales it with the prefix count.
+	ASCount int
+	// PoolSize is the number of link-state c-variables; paths draw
+	// their guards from this pool. Minimum 3 (x, y, z).
+	PoolSize int
+	// TransitASes are hub ASes inserted into many paths, so that the
+	// node constants in q7/q8 (the paper pins nodes 2, 5 and 1)
+	// actually occur. Defaults to {1, 2, 5}.
+	TransitASes []int
+	// Seed makes the workload reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Prefixes == 0 {
+		c.Prefixes = 1000
+	}
+	if c.PathsPerPrefix == 0 {
+		c.PathsPerPrefix = 5
+	}
+	if c.ASCount == 0 {
+		c.ASCount = c.Prefixes/16 + 64
+	}
+	if c.PoolSize < 3 {
+		c.PoolSize = 10
+	}
+	if c.TransitASes == nil {
+		c.TransitASes = []int{1, 2, 5}
+	}
+	return c
+}
+
+// Entry is one prefix with its preference-ordered AS paths (first is
+// the primary).
+type Entry struct {
+	Prefix string
+	Paths  [][]int
+}
+
+// RIB is the synthetic routing table.
+type RIB struct {
+	Entries []Entry
+	Config  Config
+}
+
+// VarPool returns the names of the n link-state variables: x, y, z,
+// then l3, l4, ...
+func VarPool(n int) []string {
+	out := make([]string, 0, n)
+	base := []string{"x", "y", "z"}
+	for i := 0; i < n; i++ {
+		if i < len(base) {
+			out = append(out, base[i])
+		} else {
+			out = append(out, "l"+strconv.Itoa(i))
+		}
+	}
+	return out
+}
+
+// pathLengths approximates the BGP AS-path length distribution
+// (heavily concentrated on 3–5 hops).
+var pathLengths = []struct {
+	length int
+	weight int
+}{
+	{2, 5}, {3, 25}, {4, 35}, {5, 20}, {6, 10}, {7, 5},
+}
+
+func drawLength(rnd *rand.Rand) int {
+	total := 0
+	for _, p := range pathLengths {
+		total += p.weight
+	}
+	x := rnd.Intn(total)
+	for _, p := range pathLengths {
+		if x < p.weight {
+			return p.length
+		}
+		x -= p.weight
+	}
+	return 4
+}
+
+// Generate builds a reproducible synthetic RIB.
+func Generate(cfg Config) *RIB {
+	cfg = cfg.withDefaults()
+	rnd := rand.New(rand.NewSource(cfg.Seed))
+	r := &RIB{Config: cfg}
+	for i := 0; i < cfg.Prefixes; i++ {
+		prefix := fmt.Sprintf("10.%d.%d.0/24", (i/250)%250, i%250)
+		origin := cfg.TransitASes[0] + 10 + rnd.Intn(cfg.ASCount)
+		paths := make([][]int, 0, cfg.PathsPerPrefix)
+		for p := 0; p < cfg.PathsPerPrefix; p++ {
+			paths = append(paths, genPath(rnd, cfg, origin))
+		}
+		r.Entries = append(r.Entries, Entry{Prefix: prefix, Paths: paths})
+	}
+	return r
+}
+
+// genPath builds one AS path ending at the origin AS. Transit ASes are
+// inserted near the head with high probability, mimicking tier-1
+// concentration (and giving q7/q8's pinned nodes real occurrences).
+func genPath(rnd *rand.Rand, cfg Config, origin int) []int {
+	n := drawLength(rnd)
+	path := make([]int, 0, n)
+	seen := map[int]bool{origin: true}
+	// Vantage point: always one of the transit ASes.
+	first := cfg.TransitASes[rnd.Intn(len(cfg.TransitASes))]
+	path = append(path, first)
+	seen[first] = true
+	for len(path) < n-1 {
+		var as int
+		if rnd.Intn(4) == 0 {
+			as = cfg.TransitASes[rnd.Intn(len(cfg.TransitASes))]
+		} else {
+			as = cfg.TransitASes[0] + 10 + rnd.Intn(cfg.ASCount)
+		}
+		if seen[as] {
+			continue
+		}
+		seen[as] = true
+		path = append(path, as)
+	}
+	path = append(path, origin)
+	return path
+}
+
+// String renders the RIB in the textual exchange format, one line per
+// (prefix, path) pair in preference order:
+//
+//	10.0.0.0/24|2 701 7018 64512
+func (r *RIB) String() string {
+	var b strings.Builder
+	_ = r.Write(&b)
+	return b.String()
+}
+
+// Write writes the textual format.
+func (r *RIB) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range r.Entries {
+		for _, p := range e.Paths {
+			if _, err := fmt.Fprintf(bw, "%s|%s\n", e.Prefix, joinInts(p)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Parse reads the textual format back; paths of one prefix must be
+// contiguous and are kept in file (preference) order.
+func Parse(rd io.Reader) (*RIB, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	r := &RIB{}
+	idx := map[string]int{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		parts := strings.SplitN(text, "|", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("rib: line %d: expected prefix|aspath, got %q", line, text)
+		}
+		prefix := strings.TrimSpace(parts[0])
+		var path []int
+		for _, f := range strings.Fields(parts[1]) {
+			as, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("rib: line %d: bad AS number %q", line, f)
+			}
+			path = append(path, as)
+		}
+		if len(path) == 0 {
+			return nil, fmt.Errorf("rib: line %d: empty AS path", line)
+		}
+		i, ok := idx[prefix]
+		if !ok {
+			i = len(r.Entries)
+			idx[prefix] = i
+			r.Entries = append(r.Entries, Entry{Prefix: prefix})
+		}
+		r.Entries[i].Paths = append(r.Entries[i].Paths, path)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ForwardingDatabase compiles the RIB into the fauré forwarding
+// c-table fwd(prefix, from, to), following the paper's preference
+// semantics: path i of a prefix carries the guard
+//
+//	g_1 = 0 ∧ ... ∧ g_{i-1} = 0 ∧ g_i = 1
+//
+// (primary and higher-preference backups failed, this one alive),
+// with the last backup used when every guard is down. The guards g_i
+// are drawn per prefix, deterministically from the variable pool.
+func (r *RIB) ForwardingDatabase() *ctable.Database {
+	cfg := r.Config.withDefaults()
+	pool := VarPool(cfg.PoolSize)
+	db := ctable.NewDatabase()
+	for _, v := range pool {
+		db.DeclareVar(v, solver.BoolDomain())
+	}
+	tbl := ctable.NewTable("fwd", "prefix", "from", "to")
+	rnd := rand.New(rand.NewSource(cfg.Seed + 1))
+	for _, e := range r.Entries {
+		guards := drawGuards(rnd, pool, len(e.Paths)-1)
+		for pi, path := range e.Paths {
+			g := guardCondition(guards, pi)
+			pfx := cond.Str(e.Prefix)
+			for h := 0; h+1 < len(path); h++ {
+				tbl.MustInsert(g, pfx, cond.Int(int64(path[h])), cond.Int(int64(path[h+1])))
+			}
+		}
+	}
+	db.AddTable(tbl)
+	return db
+}
+
+// drawGuards picks n distinct pool variables for one prefix.
+func drawGuards(rnd *rand.Rand, pool []string, n int) []string {
+	if n > len(pool) {
+		n = len(pool)
+	}
+	perm := rnd.Perm(len(pool))
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+// guardCondition builds path i's preference guard over the prefix's
+// guard variables: the first len(guards) paths are guarded
+// individually; the final path is the all-down fallback.
+func guardCondition(guards []string, i int) *cond.Formula {
+	var parts []*cond.Formula
+	for j := 0; j < i && j < len(guards); j++ {
+		parts = append(parts, cond.Compare(cond.CVar(guards[j]), cond.Eq, cond.Int(0)))
+	}
+	if i < len(guards) {
+		parts = append(parts, cond.Compare(cond.CVar(guards[i]), cond.Eq, cond.Int(1)))
+	}
+	return cond.And(parts...)
+}
+
+// Stats summarises a RIB for reporting.
+type Stats struct {
+	Prefixes int
+	Paths    int
+	AvgLen   float64
+	ASes     int
+}
+
+// Summary computes basic statistics.
+func (r *RIB) Summary() Stats {
+	s := Stats{Prefixes: len(r.Entries)}
+	ases := map[int]bool{}
+	hops := 0
+	for _, e := range r.Entries {
+		s.Paths += len(e.Paths)
+		for _, p := range e.Paths {
+			hops += len(p)
+			for _, as := range p {
+				ases[as] = true
+			}
+		}
+	}
+	if s.Paths > 0 {
+		s.AvgLen = float64(hops) / float64(s.Paths)
+	}
+	s.ASes = len(ases)
+	return s
+}
+
+// SortedPrefixes returns the prefixes in lexical order (for
+// deterministic output).
+func (r *RIB) SortedPrefixes() []string {
+	out := make([]string, len(r.Entries))
+	for i, e := range r.Entries {
+		out[i] = e.Prefix
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package solver
+
+import (
+	"faure/internal/cond"
+)
+
+// Simplify reduces a condition to a smaller equivalent form using the
+// solver: valid formulas collapse to true and unsatisfiable ones to
+// false; conjuncts implied by their siblings are dropped (so
+// ($x = ABC ∨ $x = ADEC) ∧ $x = ABC becomes $x = ABC); disjuncts
+// implying their siblings are absorbed. Simplification is applied
+// bottom-up. The result is always solver-equivalent to the input; it
+// is a display/compaction aid and never required for correctness.
+func Simplify(s *Solver, f *cond.Formula) (*cond.Formula, error) {
+	sat, err := s.Satisfiable(f)
+	if err != nil {
+		return nil, err
+	}
+	if !sat {
+		return cond.False(), nil
+	}
+	valid, err := s.Valid(f)
+	if err != nil {
+		return nil, err
+	}
+	if valid {
+		return cond.True(), nil
+	}
+	switch f.Kind {
+	case cond.FAnd:
+		kept, err := s.simplifyList(f.Sub, true)
+		if err != nil {
+			return nil, err
+		}
+		return cond.And(kept...), nil
+	case cond.FOr:
+		kept, err := s.simplifyList(f.Sub, false)
+		if err != nil {
+			return nil, err
+		}
+		return cond.Or(kept...), nil
+	case cond.FNot:
+		inner, err := Simplify(s, f.Sub[0])
+		if err != nil {
+			return nil, err
+		}
+		return cond.Not(inner), nil
+	default:
+		return f, nil
+	}
+}
+
+// simplifyList drops redundant members of a conjunction (isAnd) or
+// disjunction: a conjunct is redundant when implied by the remaining
+// conjuncts; a disjunct is redundant when it implies the remaining
+// disjunction. Children are simplified first.
+func (s *Solver) simplifyList(sub []*cond.Formula, isAnd bool) ([]*cond.Formula, error) {
+	members := make([]*cond.Formula, len(sub))
+	for i, m := range sub {
+		sm, err := Simplify(s, m)
+		if err != nil {
+			return nil, err
+		}
+		members[i] = sm
+	}
+	// Greedy elimination, re-testing after each removal.
+	for i := 0; i < len(members); {
+		rest := make([]*cond.Formula, 0, len(members)-1)
+		rest = append(rest, members[:i]...)
+		rest = append(rest, members[i+1:]...)
+		if len(rest) == 0 {
+			break
+		}
+		var redundant bool
+		var err error
+		if isAnd {
+			redundant, err = s.Implies(cond.And(rest...), members[i])
+		} else {
+			redundant, err = s.Implies(members[i], cond.Or(rest...))
+		}
+		if err != nil {
+			return nil, err
+		}
+		if redundant {
+			members = rest
+			continue
+		}
+		i++
+	}
+	return members, nil
+}

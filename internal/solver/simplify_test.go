@@ -1,0 +1,124 @@
+package solver
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"faure/internal/cond"
+)
+
+func simp(t *testing.T, s *Solver, f *cond.Formula) *cond.Formula {
+	t.Helper()
+	out, err := Simplify(s, f)
+	if err != nil {
+		t.Fatalf("Simplify(%v): %v", f, err)
+	}
+	return out
+}
+
+func TestSimplifyCollapsesConstants(t *testing.T) {
+	s := New(Domains{"x": BoolDomain()})
+	x := cond.CVar("x")
+	valid := cond.Or(cond.Compare(x, cond.Eq, cond.Int(0)), cond.Compare(x, cond.Eq, cond.Int(1)))
+	if f := simp(t, s, valid); !f.IsTrue() {
+		t.Errorf("valid formula should collapse to true, got %v", f)
+	}
+	unsat := cond.And(cond.Compare(x, cond.Eq, cond.Int(0)), cond.Compare(x, cond.Eq, cond.Int(1)))
+	if f := simp(t, s, unsat); !f.IsFalse() {
+		t.Errorf("unsat formula should collapse to false, got %v", f)
+	}
+}
+
+func TestSimplifyDropsImpliedConjunct(t *testing.T) {
+	// The Table 2 shape: ($x=ABC || $x=ADEC) && $x=ABC → $x=ABC.
+	s := New(Domains{"x": EnumDomain(cond.Str("ABC"), cond.Str("ADEC"), cond.Str("ABE"))})
+	x := cond.CVar("x")
+	f := cond.And(
+		cond.Or(cond.Compare(x, cond.Eq, cond.Str("ABC")), cond.Compare(x, cond.Eq, cond.Str("ADEC"))),
+		cond.Compare(x, cond.Eq, cond.Str("ABC")),
+	)
+	got := simp(t, s, f)
+	want := cond.Compare(x, cond.Eq, cond.Str("ABC"))
+	if !got.Equal(want) {
+		t.Errorf("Simplify = %v, want %v", got, want)
+	}
+}
+
+func TestSimplifyAbsorbsDisjunct(t *testing.T) {
+	s := New(Domains{"x": BoolDomain(), "y": BoolDomain()})
+	x, y := cond.CVar("x"), cond.CVar("y")
+	// (x=1 && y=1) || x=1 → x=1.
+	f := cond.Or(
+		cond.And(cond.Compare(x, cond.Eq, cond.Int(1)), cond.Compare(y, cond.Eq, cond.Int(1))),
+		cond.Compare(x, cond.Eq, cond.Int(1)),
+	)
+	got := simp(t, s, f)
+	want := cond.Compare(x, cond.Eq, cond.Int(1))
+	if !got.Equal(want) {
+		t.Errorf("Simplify = %v, want %v", got, want)
+	}
+}
+
+func TestSimplifyKeepsIrredundant(t *testing.T) {
+	s := New(Domains{"x": BoolDomain(), "y": BoolDomain()})
+	x, y := cond.CVar("x"), cond.CVar("y")
+	f := cond.And(cond.Compare(x, cond.Eq, cond.Int(1)), cond.Compare(y, cond.Eq, cond.Int(0)))
+	got := simp(t, s, f)
+	if !got.Equal(f) {
+		t.Errorf("irredundant conjunction changed: %v -> %v", f, got)
+	}
+}
+
+// TestSimplifyPreservesSemantics: on random formulas, the simplified
+// form is solver-equivalent and never larger in atom count.
+func TestSimplifyPreservesSemantics(t *testing.T) {
+	doms := Domains{}
+	names := []string{"a", "b", "c"}
+	for _, n := range names {
+		doms[n] = BoolDomain()
+	}
+	gen := func(r *rand.Rand) *cond.Formula {
+		var rec func(depth int) *cond.Formula
+		rec = func(depth int) *cond.Formula {
+			v := cond.CVar(names[r.Intn(len(names))])
+			if depth == 0 || r.Intn(3) == 0 {
+				return cond.Compare(v, cond.Op(r.Intn(2)), cond.Int(int64(r.Intn(2))))
+			}
+			switch r.Intn(3) {
+			case 0:
+				return cond.And(rec(depth-1), rec(depth-1))
+			case 1:
+				return cond.Or(rec(depth-1), rec(depth-1))
+			default:
+				return cond.Not(rec(depth - 1))
+			}
+		}
+		return rec(3)
+	}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := gen(r)
+		s := New(doms)
+		g, err := Simplify(s, f)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		eq, err := s.Equivalent(f, g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !eq {
+			t.Errorf("seed %d: simplification changed semantics: %v vs %v", seed, f, g)
+			return false
+		}
+		if len(g.Atoms()) > len(f.Atoms()) {
+			t.Errorf("seed %d: simplified form grew: %v -> %v", seed, f, g)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

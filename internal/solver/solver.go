@@ -1,0 +1,660 @@
+// Package solver decides satisfiability, implication and equivalence
+// of fauré conditions (package cond). It substitutes for the Z3 SMT
+// solver used by the paper's PostgreSQL implementation: every formula
+// fauré-log can produce — boolean combinations of (dis)equalities and
+// order atoms over string/integer constants and c-variables, plus
+// linear sums over finite-domain c-variables — falls in the decidable
+// fragment this package handles soundly and, for the conditions the
+// fauré workloads generate, completely.
+//
+// Known incompleteness (deliberate, documented): chains of pairwise
+// disequalities between *unbounded* integer c-variables whose order
+// atoms pin them into a shared *large* finite interval are decided by
+// a bounded enumeration only up to 4096 combinations (the pigeonhole
+// shape, e.g. x,y,z ∈ [0,1] all pairwise distinct, is decided
+// exactly); beyond that cap the answer over-approximates to
+// satisfiable. The error is one-sided and benign for fauré:
+// Satisfiable may over-approximate (an unsatisfiable tuple is merely
+// kept, existing in no world), and Implies under-approximates (a
+// verifier answers Unknown rather than wrongly Holds). Declaring the
+// variables with finite domains — as every fauré workload does —
+// sidesteps the cap entirely via domain enumeration.
+//
+// The procedure is two-layered:
+//
+//  1. c-variables with declared finite domains are eliminated by
+//     backtracking enumeration with eager formula simplification;
+//  2. the residual formula, over unbounded c-variables only, is decided
+//     by DPLL-style case splitting on atoms, with each branch checked
+//     against an equality/order theory (union-find over terms, integer
+//     bound propagation over the order graph, exclusion sets from
+//     disequalities).
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"faure/internal/cond"
+)
+
+// Domain describes the set of values a c-variable may take. A nil or
+// empty Values slice means the domain is unbounded: an infinite set of
+// strings, or all integers when the variable participates in order or
+// sum atoms.
+type Domain struct {
+	Values []cond.Term
+}
+
+// Finite reports whether the domain is a finite explicit set.
+func (d Domain) Finite() bool { return len(d.Values) > 0 }
+
+// BoolDomain is the {0, 1} domain used for link-state c-variables.
+func BoolDomain() Domain {
+	return Domain{Values: []cond.Term{cond.Int(0), cond.Int(1)}}
+}
+
+// EnumDomain builds a finite domain from the given terms.
+func EnumDomain(values ...cond.Term) Domain {
+	return Domain{Values: values}
+}
+
+// Domains maps c-variable names to their domains. Variables absent
+// from the map are unbounded.
+type Domains map[string]Domain
+
+// Stats counts the work a solver has performed.
+type Stats struct {
+	SatCalls  int // top-level satisfiability decisions
+	CacheHits int // decisions answered from the memo cache
+	EnumNodes int // finite-domain enumeration tree nodes visited
+	DPLLNodes int // residual case-split nodes visited
+}
+
+// Solver decides conditions under a fixed domain map. It memoises
+// results by canonical formula key; it is not safe for concurrent use.
+type Solver struct {
+	doms     Domains
+	satCache map[string]satResult
+	// Memoisation caps the cache so pathological workloads cannot
+	// retain unbounded memory.
+	cacheLimit int
+	stats      Stats
+}
+
+type satResult struct {
+	sat bool
+	err error
+}
+
+// New returns a solver over the given domains. The map is captured by
+// reference; callers may keep registering variables before use but
+// must not mutate it concurrently with solving.
+func New(doms Domains) *Solver {
+	return &Solver{doms: doms, satCache: make(map[string]satResult), cacheLimit: 1 << 20}
+}
+
+// SetCacheLimit bounds the memo cache; 0 disables memoisation (the
+// ablation benches use this to quantify what the cache buys).
+func (s *Solver) SetCacheLimit(n int) {
+	s.cacheLimit = n
+	if n == 0 {
+		s.satCache = map[string]satResult{}
+	}
+}
+
+// Stats returns a copy of the solver's counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (the memo cache is kept).
+func (s *Solver) ResetStats() { s.stats = Stats{} }
+
+// Satisfiable reports whether some assignment of the c-variables,
+// respecting their domains, makes f true.
+func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
+	s.stats.SatCalls++
+	switch f.Kind {
+	case cond.FTrue:
+		return true, nil
+	case cond.FFalse:
+		return false, nil
+	}
+	if r, ok := s.satCache[f.Key()]; ok {
+		s.stats.CacheHits++
+		return r.sat, r.err
+	}
+	sat, err := s.enumerate(f)
+	if len(s.satCache) < s.cacheLimit {
+		s.satCache[f.Key()] = satResult{sat, err}
+	}
+	return sat, err
+}
+
+// Valid reports whether f holds under every assignment.
+func (s *Solver) Valid(f *cond.Formula) (bool, error) {
+	sat, err := s.Satisfiable(cond.Not(f))
+	return !sat, err
+}
+
+// Implies reports whether every assignment satisfying f also satisfies
+// g (f ⇒ g), i.e. f ∧ ¬g is unsatisfiable.
+func (s *Solver) Implies(f, g *cond.Formula) (bool, error) {
+	sat, err := s.Satisfiable(cond.And(f, cond.Not(g)))
+	return !sat, err
+}
+
+// Equivalent reports whether f and g are satisfied by exactly the same
+// assignments.
+func (s *Solver) Equivalent(f, g *cond.Formula) (bool, error) {
+	fg, err := s.Implies(f, g)
+	if err != nil || !fg {
+		return false, err
+	}
+	return s.Implies(g, f)
+}
+
+// enumerate eliminates finite-domain c-variables one at a time,
+// substituting each candidate value and recursing on the simplified
+// formula; once only unbounded variables remain it falls through to
+// the residual DPLL procedure.
+func (s *Solver) enumerate(f *cond.Formula) (bool, error) {
+	s.stats.EnumNodes++
+	switch f.Kind {
+	case cond.FTrue:
+		return true, nil
+	case cond.FFalse:
+		return false, nil
+	}
+	name, dom, ok := s.pickFiniteVar(f)
+	if !ok {
+		return s.satResidual(f, nil)
+	}
+	var firstErr error
+	for _, v := range dom.Values {
+		g := f.Subst(map[string]cond.Term{name: v})
+		sat, err := s.enumerate(g)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if sat {
+			return true, nil
+		}
+	}
+	return false, firstErr
+}
+
+// pickFiniteVar returns the free c-variable of f with the smallest
+// finite domain, or ok=false when all free variables are unbounded.
+func (s *Solver) pickFiniteVar(f *cond.Formula) (string, Domain, bool) {
+	var best string
+	var bestDom Domain
+	found := false
+	for _, name := range f.CVars() {
+		d, ok := s.doms[name]
+		if !ok || !d.Finite() {
+			continue
+		}
+		if !found || len(d.Values) < len(bestDom.Values) {
+			best, bestDom, found = name, d, true
+		}
+	}
+	return best, bestDom, found
+}
+
+// literal is an atom together with its assigned truth value.
+type literal struct {
+	atom cond.Atom
+	val  bool
+}
+
+// satResidual decides a formula whose free c-variables are all
+// unbounded, by splitting on its first atom and checking each complete
+// branch against the equality/order theory.
+func (s *Solver) satResidual(f *cond.Formula, lits []literal) (bool, error) {
+	s.stats.DPLLNodes++
+	switch f.Kind {
+	case cond.FFalse:
+		return false, nil
+	case cond.FTrue:
+		return theoryConsistent(lits)
+	}
+	atoms := f.Atoms()
+	if len(atoms) == 0 {
+		// Canonicalisation guarantees atoms exist for FAtom/FAnd/FOr/FNot.
+		return false, fmt.Errorf("solver: formula %v has no atoms", f)
+	}
+	a := atoms[0]
+	negKey := a.Negate().Key()
+	var firstErr error
+	for _, val := range [2]bool{true, false} {
+		g := f.AssignAtom(a.Key(), val).AssignAtom(negKey, !val)
+		branch := append(lits, literal{a, val})
+		// Early pruning: abandon the branch as soon as the literal set
+		// is already inconsistent.
+		okSoFar, err := theoryConsistent(branch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !okSoFar {
+			continue
+		}
+		sat, err := s.satResidual(g, branch)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if sat {
+			return true, nil
+		}
+	}
+	return false, firstErr
+}
+
+// ErrUnboundedSum reports a linear-sum atom over a c-variable with no
+// finite domain; such formulas are outside the supported fragment
+// (the paper's sum conditions always range over {0,1} link variables).
+var ErrUnboundedSum = errors.New("solver: linear sum over unbounded c-variable")
+
+// theoryConsistent decides whether a conjunction of comparison
+// literals over unbounded c-variables and constants is satisfiable.
+func theoryConsistent(lits []literal) (bool, error) {
+	uf := newUnionFind()
+	type rel struct {
+		l, r   cond.Term
+		strict bool
+	}
+	var orders []rel // l < r or l <= r
+	var disequals [][2]cond.Term
+
+	for _, lit := range lits {
+		a := lit.atom
+		if len(a.Sum) > 1 {
+			return false, fmt.Errorf("%w: %v", ErrUnboundedSum, a)
+		}
+		op := a.Op
+		if !lit.val {
+			op = op.Negate()
+		}
+		l, r := a.Sum[0], a.RHS
+		switch op {
+		case cond.Eq:
+			uf.union(l, r)
+		case cond.Ne:
+			disequals = append(disequals, [2]cond.Term{l, r})
+		case cond.Lt:
+			orders = append(orders, rel{l, r, true})
+		case cond.Le:
+			orders = append(orders, rel{l, r, false})
+		case cond.Gt:
+			orders = append(orders, rel{r, l, true})
+		case cond.Ge:
+			orders = append(orders, rel{r, l, false})
+		}
+	}
+
+	// Equality closure: merging two distinct constants is contradictory.
+	if uf.conflict {
+		return false, nil
+	}
+	// Disequalities within one equality class are contradictory.
+	for _, d := range disequals {
+		if uf.find(d[0]) == uf.find(d[1]) {
+			return false, nil
+		}
+	}
+
+	// Integer order reasoning over equality classes. Each class has an
+	// interval [lo, hi]; constants pin it. Order edges propagate bounds
+	// Bellman-Ford style; a persistent change after n rounds means a
+	// cycle through a strict edge.
+	classes := map[string]*classInfo{}
+	classOf := func(t cond.Term) (*classInfo, error) {
+		root := uf.find(t)
+		ci := classes[root]
+		if ci == nil {
+			ci = &classInfo{lo: math.MinInt64 / 4, hi: math.MaxInt64 / 4, excluded: map[int64]bool{}}
+			if c, ok := uf.constOf[root]; ok {
+				if c.Kind == cond.KStr {
+					return nil, fmt.Errorf("solver: order comparison over string constant %q", c.S)
+				}
+				ci.lo, ci.hi = c.I, c.I
+			}
+			classes[root] = ci
+		}
+		return ci, nil
+	}
+	type edge struct {
+		from, to *classInfo
+		strict   bool
+	}
+	edges := make([]edge, 0, len(orders))
+	for _, o := range orders {
+		lc, err := classOf(o.l)
+		if err != nil {
+			return false, err
+		}
+		rc, err := classOf(o.r)
+		if err != nil {
+			return false, err
+		}
+		if lc == rc {
+			if o.strict {
+				return false, nil // x < x
+			}
+			continue
+		}
+		edges = append(edges, edge{lc, rc, o.strict})
+	}
+	for round := 0; round <= len(classes)+1; round++ {
+		changed := false
+		for _, e := range edges {
+			gap := int64(0)
+			if e.strict {
+				gap = 1
+			}
+			if e.from.lo+gap > e.to.lo {
+				e.to.lo = e.from.lo + gap
+				changed = true
+			}
+			if e.to.hi-gap < e.from.hi {
+				e.from.hi = e.to.hi - gap
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		if round == len(classes)+1 {
+			return false, nil // cycle through a strict edge
+		}
+	}
+	for _, ci := range classes {
+		if ci.lo > ci.hi {
+			return false, nil
+		}
+	}
+
+	// Disequalities against pinned classes exclude single values; a
+	// fully-excluded finite interval is contradictory. Disequalities
+	// between two unpinned classes are always satisfiable (infinite
+	// domains), except when both intervals are the same single point.
+	for _, d := range disequals {
+		lr, rr := uf.find(d[0]), uf.find(d[1])
+		lc, lHas := uf.constOf[lr]
+		rc, rHas := uf.constOf[rr]
+		if lHas && rHas {
+			if lc.Equal(rc) {
+				return false, nil
+			}
+			continue
+		}
+		li, lok := classes[lr]
+		ri, rok := classes[rr]
+		switch {
+		case lHas && rok:
+			if lc.Kind == cond.KInt {
+				ri.excluded[lc.I] = true
+			}
+		case rHas && lok:
+			if rc.Kind == cond.KInt {
+				li.excluded[rc.I] = true
+			}
+		case lok && rok:
+			if li.lo == li.hi && ri.lo == ri.hi && li.lo == ri.lo {
+				return false, nil
+			}
+		}
+		// String-typed classes with no constants always admit distinct
+		// fresh values; nothing to check.
+	}
+	for _, ci := range classes {
+		span := ci.hi - ci.lo + 1
+		if span <= int64(len(ci.excluded)) {
+			free := false
+			for v := ci.lo; v <= ci.hi; v++ {
+				if !ci.excluded[v] {
+					free = true
+					break
+				}
+			}
+			if !free {
+				return false, nil
+			}
+		}
+	}
+
+	// Bounded-interval refinement: pairwise disequalities between
+	// unpinned integer classes interact through shared narrow
+	// intervals (the pigeonhole shape). When every class reachable
+	// from such a disequality through order edges has a small finite
+	// interval, decide exactly by enumeration; otherwise keep the
+	// sound over-approximation (see the package comment).
+	var varvar [][2]*classInfo
+	interesting := map[*classInfo]bool{}
+	for _, d := range disequals {
+		lr, rr := uf.find(d[0]), uf.find(d[1])
+		if _, has := uf.constOf[lr]; has {
+			continue
+		}
+		if _, has := uf.constOf[rr]; has {
+			continue
+		}
+		li, lok := classes[lr]
+		ri, rok := classes[rr]
+		if !lok || !rok {
+			continue // a side with no order info ranges over an infinite domain
+		}
+		varvar = append(varvar, [2]*classInfo{li, ri})
+		interesting[li] = true
+		interesting[ri] = true
+	}
+	if len(varvar) > 0 {
+		for changed := true; changed; {
+			changed = false
+			for _, e := range edges {
+				if interesting[e.from] != interesting[e.to] {
+					interesting[e.from] = true
+					interesting[e.to] = true
+					changed = true
+				}
+			}
+		}
+		const enumCap = 4096
+		product := int64(1)
+		feasible := true
+		var list []*classInfo
+		for ci := range interesting {
+			span := ci.hi - ci.lo + 1
+			if span <= 0 || span > enumCap {
+				feasible = false
+				break
+			}
+			product *= span
+			if product > enumCap {
+				feasible = false
+				break
+			}
+			list = append(list, ci)
+		}
+		if feasible {
+			assign := map[*classInfo]int64{}
+			var rec func(i int) bool
+			rec = func(i int) bool {
+				if i == len(list) {
+					for _, e := range edges {
+						if !interesting[e.from] {
+							continue
+						}
+						a, b := assign[e.from], assign[e.to]
+						if e.strict && a >= b || !e.strict && a > b {
+							return false
+						}
+					}
+					for _, p := range varvar {
+						if assign[p[0]] == assign[p[1]] {
+							return false
+						}
+					}
+					return true
+				}
+				ci := list[i]
+				for v := ci.lo; v <= ci.hi; v++ {
+					if ci.excluded[v] {
+						continue
+					}
+					assign[ci] = v
+					if rec(i + 1) {
+						return true
+					}
+				}
+				return false
+			}
+			if !rec(0) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+type classInfo struct {
+	lo, hi   int64
+	excluded map[int64]bool
+}
+
+// unionFind merges c-domain terms into equality classes, tracking the
+// constant (if any) each class is pinned to.
+type unionFind struct {
+	parent   map[string]string
+	constOf  map[string]cond.Term
+	conflict bool
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: map[string]string{}, constOf: map[string]cond.Term{}}
+}
+
+func termNodeKey(t cond.Term) string {
+	switch t.Kind {
+	case cond.KCVar:
+		return "$" + t.S
+	case cond.KInt:
+		return fmt.Sprintf("i%d", t.I)
+	default:
+		return "s" + t.S
+	}
+}
+
+func (u *unionFind) findKey(k string) string {
+	p, ok := u.parent[k]
+	if !ok || p == k {
+		u.parent[k] = k
+		return k
+	}
+	root := u.findKey(p)
+	u.parent[k] = root
+	return root
+}
+
+func (u *unionFind) find(t cond.Term) string {
+	k := termNodeKey(t)
+	root := u.findKey(k)
+	if t.IsConst() {
+		if _, ok := u.constOf[root]; !ok {
+			u.constOf[root] = t
+		}
+	}
+	return root
+}
+
+func (u *unionFind) union(a, b cond.Term) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	ca, aHas := u.constOf[ra]
+	cb, bHas := u.constOf[rb]
+	if aHas && bHas && !ca.Equal(cb) {
+		u.conflict = true
+		return
+	}
+	u.parent[ra] = rb
+	if aHas && !bHas {
+		u.constOf[rb] = ca
+	}
+}
+
+// Worlds enumerates every total assignment of the named finite-domain
+// variables, calling fn for each; fn returning false stops early. It
+// is exported for the loss-lessness tests that compare c-table queries
+// against explicit possible-world enumeration. Variables must all have
+// finite domains.
+func (s *Solver) Worlds(names []string, fn func(map[string]cond.Term) bool) error {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	assign := map[string]cond.Term{}
+	var rec func(i int) (bool, error)
+	rec = func(i int) (bool, error) {
+		if i == len(sorted) {
+			return fn(assign), nil
+		}
+		d, ok := s.doms[sorted[i]]
+		if !ok || !d.Finite() {
+			return false, fmt.Errorf("solver: Worlds over unbounded c-variable %q", sorted[i])
+		}
+		for _, v := range d.Values {
+			assign[sorted[i]] = v
+			cont, err := rec(i + 1)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		delete(assign, sorted[i])
+		return true, nil
+	}
+	_, err := rec(0)
+	return err
+}
+
+// CountWorlds returns how many assignments of the named finite-domain
+// variables satisfy f — "in how many failure scenarios does this
+// hold". Variables not mentioned by f still multiply the count (they
+// are part of the world space the caller chose).
+func (s *Solver) CountWorlds(f *cond.Formula, names []string) (int, error) {
+	count := 0
+	var evalErr error
+	err := s.Worlds(names, func(m map[string]cond.Term) bool {
+		g := f.Subst(m)
+		switch {
+		case g.IsTrue():
+			count++
+		case g.IsFalse():
+		default:
+			// Residual unbounded variables: ask the full decision
+			// procedure whether this world admits an extension.
+			sat, err := s.Satisfiable(g)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if sat {
+				count++
+			}
+		}
+		return true
+	})
+	if evalErr != nil {
+		return 0, evalErr
+	}
+	return count, err
+}

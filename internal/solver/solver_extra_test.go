@@ -1,0 +1,228 @@
+package solver
+
+import (
+	"testing"
+
+	"faure/internal/cond"
+)
+
+// TestMixedFiniteAndUnbounded: finite variables are eliminated by
+// enumeration, leaving a residual over the unbounded ones.
+func TestMixedFiniteAndUnbounded(t *testing.T) {
+	s := New(Domains{"b": BoolDomain()})
+	b, u := cond.CVar("b"), cond.CVar("u")
+	// (b=1 ∧ u=A) ∨ (b=0 ∧ u=B), with u ≠ A: only the b=0 branch
+	// survives.
+	f := cond.And(
+		cond.Or(
+			cond.And(cond.Compare(b, cond.Eq, cond.Int(1)), cond.Compare(u, cond.Eq, cond.Str("A"))),
+			cond.And(cond.Compare(b, cond.Eq, cond.Int(0)), cond.Compare(u, cond.Eq, cond.Str("B"))),
+		),
+		cond.Compare(u, cond.Ne, cond.Str("A")),
+	)
+	if !mustSat(t, s, f) {
+		t.Errorf("should be satisfiable with b=0, u=B")
+	}
+	g := cond.And(f, cond.Compare(u, cond.Ne, cond.Str("B")))
+	if mustSat(t, s, g) {
+		t.Errorf("excluding both branches should be unsat")
+	}
+}
+
+// TestEqualityChainAcrossKinds: c-var chains through both string and
+// int constants conflict.
+func TestEqualityChainAcrossKinds(t *testing.T) {
+	s := New(Domains{})
+	x, y := cond.CVar("x"), cond.CVar("y")
+	f := cond.And(
+		cond.Compare(x, cond.Eq, y),
+		cond.Compare(x, cond.Eq, cond.Int(5)),
+		cond.Compare(y, cond.Eq, cond.Str("five")),
+	)
+	if mustSat(t, s, f) {
+		t.Errorf("x=y with x=5 and y=\"five\" should be unsat")
+	}
+}
+
+// TestOrderAgainstStringErrors: order atoms over string constants with
+// variables are outside the theory and reported as errors (not wrong
+// answers).
+func TestOrderAgainstStringErrors(t *testing.T) {
+	s := New(Domains{})
+	x := cond.CVar("x")
+	f := cond.Compare(x, cond.Lt, cond.Str("Mkt"))
+	if _, err := s.Satisfiable(f); err == nil {
+		t.Errorf("order against a string constant should error")
+	}
+}
+
+// TestImpliesErrorPropagation: errors inside implication checks
+// surface.
+func TestImpliesErrorPropagation(t *testing.T) {
+	s := New(Domains{})
+	bad := cond.AtomF(cond.NewSumAtom([]cond.Term{cond.CVar("p"), cond.CVar("q")}, cond.Eq, cond.Int(1)))
+	if _, err := s.Implies(bad, cond.False()); err == nil {
+		t.Errorf("unbounded sum should propagate an error through Implies")
+	}
+}
+
+// TestSetCacheLimitZero disables memoisation.
+func TestSetCacheLimitZero(t *testing.T) {
+	s := New(Domains{"x": BoolDomain()})
+	s.SetCacheLimit(0)
+	f := cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1))
+	mustSat(t, s, f)
+	mustSat(t, s, f)
+	if s.Stats().CacheHits != 0 {
+		t.Errorf("cache disabled but hits recorded")
+	}
+}
+
+// TestLargeFiniteDomain: enumeration over a larger enum domain.
+func TestLargeFiniteDomain(t *testing.T) {
+	vals := make([]cond.Term, 20)
+	for i := range vals {
+		vals[i] = cond.Int(int64(i))
+	}
+	s := New(Domains{"n": EnumDomain(vals...)})
+	n := cond.CVar("n")
+	f := cond.And(
+		cond.Compare(n, cond.Gt, cond.Int(17)),
+		cond.Compare(n, cond.Ne, cond.Int(18)),
+		cond.Compare(n, cond.Ne, cond.Int(19)),
+	)
+	if mustSat(t, s, f) {
+		t.Errorf("n>17 with 18, 19 excluded should be unsat over 0..19")
+	}
+	g := cond.And(
+		cond.Compare(n, cond.Gt, cond.Int(17)),
+		cond.Compare(n, cond.Ne, cond.Int(18)),
+	)
+	if !mustSat(t, s, g) {
+		t.Errorf("n=19 should satisfy")
+	}
+}
+
+// TestVarVarOrderWithPin: var-var order edges propagate through pinned
+// constants.
+func TestVarVarOrderWithPin(t *testing.T) {
+	s := New(Domains{})
+	x, y := cond.CVar("x"), cond.CVar("y")
+	f := cond.And(
+		cond.Compare(x, cond.Lt, y),
+		cond.Compare(y, cond.Le, cond.Int(1)),
+		cond.Compare(x, cond.Ge, cond.Int(1)),
+	)
+	if mustSat(t, s, f) {
+		t.Errorf("x>=1, x<y<=1 should be unsat over integers")
+	}
+}
+
+// TestNegatedOrderLiterals: DPLL assigns order atoms false, flipping
+// them.
+func TestNegatedOrderLiterals(t *testing.T) {
+	s := New(Domains{})
+	x := cond.CVar("x")
+	// ¬(x < 5) ∧ ¬(x > 5) forces x = 5; then x ≠ 5 contradicts.
+	f := cond.And(
+		cond.Not(cond.Compare(x, cond.Lt, cond.Int(5))),
+		cond.Not(cond.Compare(x, cond.Gt, cond.Int(5))),
+		cond.Compare(x, cond.Ne, cond.Int(5)),
+	)
+	if mustSat(t, s, f) {
+		t.Errorf("forced x=5 with x!=5 should be unsat")
+	}
+}
+
+// TestWorldsDeterministicOrder: enumeration visits assignments in a
+// stable order (sorted variable names, domain order).
+func TestWorldsDeterministicOrder(t *testing.T) {
+	s := New(Domains{"b": BoolDomain(), "a": BoolDomain()})
+	var seq []string
+	err := s.Worlds([]string{"b", "a"}, func(m map[string]cond.Term) bool {
+		seq = append(seq, m["a"].String()+m["b"].String())
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"00", "01", "10", "11"}
+	for i, w := range want {
+		if seq[i] != w {
+			t.Fatalf("order = %v, want %v", seq, want)
+		}
+	}
+}
+
+// TestPigeonholeDecidedExactly: pairwise-distinct variables pinned
+// into a too-small interval are unsatisfiable — the bounded-interval
+// refinement decides this exactly even over unbounded variables.
+func TestPigeonholeDecidedExactly(t *testing.T) {
+	x, y, z := cond.CVar("x"), cond.CVar("y"), cond.CVar("z")
+	mk := func(hi int64) *cond.Formula {
+		return cond.And(
+			cond.Compare(x, cond.Ge, cond.Int(0)), cond.Compare(x, cond.Le, cond.Int(hi)),
+			cond.Compare(y, cond.Ge, cond.Int(0)), cond.Compare(y, cond.Le, cond.Int(hi)),
+			cond.Compare(z, cond.Ge, cond.Int(0)), cond.Compare(z, cond.Le, cond.Int(hi)),
+			cond.Compare(x, cond.Ne, y), cond.Compare(y, cond.Ne, z), cond.Compare(x, cond.Ne, z),
+		)
+	}
+	unbounded := New(Domains{})
+	if mustSat(t, unbounded, mk(1)) {
+		t.Errorf("3 pairwise-distinct values in [0,1] must be unsat")
+	}
+	if !mustSat(t, unbounded, mk(2)) {
+		t.Errorf("3 pairwise-distinct values in [0,2] must be sat")
+	}
+	// Finite domains agree.
+	finite := New(boolDoms("x", "y", "z"))
+	if mustSat(t, finite, mk(1)) {
+		t.Errorf("pigeonhole over {0,1} domains must be unsatisfiable")
+	}
+	// Combined with order chains: x < y < z within [0,1] is unsat,
+	// within [0,2] forces exactly 0,1,2.
+	chain := cond.And(
+		cond.Compare(x, cond.Ge, cond.Int(0)), cond.Compare(z, cond.Le, cond.Int(2)),
+		cond.Compare(x, cond.Lt, y), cond.Compare(y, cond.Lt, z),
+		cond.Compare(x, cond.Ne, z),
+	)
+	if !mustSat(t, unbounded, chain) {
+		t.Errorf("x<y<z in [0,2] should be sat")
+	}
+}
+
+// TestCountWorlds: counting satisfying failure scenarios.
+func TestCountWorlds(t *testing.T) {
+	s := New(boolDoms("x", "y", "z"))
+	x, y, z := cond.CVar("x"), cond.CVar("y"), cond.CVar("z")
+	sum1 := cond.AtomF(cond.NewSumAtom([]cond.Term{x, y, z}, cond.Eq, cond.Int(1)))
+	n, err := s.CountWorlds(sum1, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("x+y+z=1 holds in 3 of 8 worlds, got %d", n)
+	}
+	// Unreferenced variables multiply the space.
+	xOnly := cond.Compare(x, cond.Eq, cond.Int(1))
+	n, err = s.CountWorlds(xOnly, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("x=1 holds in 4 of 8 worlds, got %d", n)
+	}
+	// Residual unbounded variables fall back to the decision procedure.
+	u := cond.CVar("u")
+	mixed := cond.And(xOnly, cond.Compare(u, cond.Ne, cond.Str("A")))
+	n, err = s.CountWorlds(mixed, []string{"x", "y", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("mixed condition should count 4 extensible worlds, got %d", n)
+	}
+	if _, err := s.CountWorlds(cond.True(), []string{"unbounded"}); err == nil {
+		t.Errorf("counting over an unbounded variable should error")
+	}
+}

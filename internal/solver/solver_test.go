@@ -1,0 +1,399 @@
+package solver
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"faure/internal/cond"
+)
+
+func mustSat(t *testing.T, s *Solver, f *cond.Formula) bool {
+	t.Helper()
+	sat, err := s.Satisfiable(f)
+	if err != nil {
+		t.Fatalf("Satisfiable(%v): %v", f, err)
+	}
+	return sat
+}
+
+func boolDoms(names ...string) Domains {
+	d := Domains{}
+	for _, n := range names {
+		d[n] = BoolDomain()
+	}
+	return d
+}
+
+func TestSatTrivial(t *testing.T) {
+	s := New(Domains{})
+	if !mustSat(t, s, cond.True()) {
+		t.Errorf("true should be sat")
+	}
+	if mustSat(t, s, cond.False()) {
+		t.Errorf("false should be unsat")
+	}
+}
+
+func TestSatFiniteDomain(t *testing.T) {
+	s := New(boolDoms("x", "y", "z"))
+	x, y, z := cond.CVar("x"), cond.CVar("y"), cond.CVar("z")
+
+	// The paper's 2-link-failure pattern: exactly one link up.
+	sum1 := cond.AtomF(cond.NewSumAtom([]cond.Term{x, y, z}, cond.Eq, cond.Int(1)))
+	if !mustSat(t, s, sum1) {
+		t.Errorf("x+y+z=1 over {0,1} should be sat")
+	}
+	if mustSat(t, s, cond.AtomF(cond.NewSumAtom([]cond.Term{x, y, z}, cond.Eq, cond.Int(4)))) {
+		t.Errorf("x+y+z=4 over {0,1} should be unsat")
+	}
+	if mustSat(t, s, cond.AtomF(cond.NewSumAtom([]cond.Term{x, y, z}, cond.Lt, cond.Int(0)))) {
+		t.Errorf("x+y+z<0 over {0,1} should be unsat")
+	}
+	// Combined with equalities.
+	f := cond.And(sum1, cond.Compare(x, cond.Eq, cond.Int(1)), cond.Compare(y, cond.Eq, cond.Int(1)))
+	if mustSat(t, s, f) {
+		t.Errorf("x+y+z=1 with x=1, y=1 should be unsat")
+	}
+	g := cond.And(sum1, cond.Compare(x, cond.Eq, cond.Int(0)), cond.Compare(y, cond.Eq, cond.Int(0)))
+	if !mustSat(t, s, g) {
+		t.Errorf("x+y+z=1 with x=0, y=0 should be sat (z=1)")
+	}
+}
+
+func TestSatEnumDomainStrings(t *testing.T) {
+	doms := Domains{
+		"x": EnumDomain(cond.Str("Mkt"), cond.Str("R&D")),
+	}
+	s := New(doms)
+	x := cond.CVar("x")
+	f := cond.And(cond.Compare(x, cond.Ne, cond.Str("Mkt")), cond.Compare(x, cond.Ne, cond.Str("R&D")))
+	if mustSat(t, s, f) {
+		t.Errorf("x != both domain values should be unsat over finite domain")
+	}
+	g := cond.Compare(x, cond.Ne, cond.Str("Mkt"))
+	if !mustSat(t, s, g) {
+		t.Errorf("x != Mkt should be sat (x = R&D)")
+	}
+}
+
+func TestSatUnboundedEquality(t *testing.T) {
+	s := New(Domains{})
+	x, y, z := cond.CVar("x"), cond.CVar("y"), cond.CVar("z")
+	// Equality chain forcing two constants together.
+	f := cond.And(
+		cond.Compare(x, cond.Eq, y),
+		cond.Compare(y, cond.Eq, cond.Str("A")),
+		cond.Compare(x, cond.Eq, cond.Str("B")),
+	)
+	if mustSat(t, s, f) {
+		t.Errorf("x=y, y=A, x=B should be unsat")
+	}
+	// Disequalities over an infinite domain are almost always sat.
+	g := cond.And(
+		cond.Compare(x, cond.Ne, cond.Str("A")),
+		cond.Compare(x, cond.Ne, cond.Str("B")),
+		cond.Compare(x, cond.Ne, y),
+		cond.Compare(y, cond.Ne, z),
+	)
+	if !mustSat(t, s, g) {
+		t.Errorf("disequalities over unbounded vars should be sat")
+	}
+	// Transitive equality with a disequality inside the class.
+	h := cond.And(
+		cond.Compare(x, cond.Eq, y),
+		cond.Compare(y, cond.Eq, z),
+		cond.Compare(x, cond.Ne, z),
+	)
+	if mustSat(t, s, h) {
+		t.Errorf("x=y=z with x!=z should be unsat")
+	}
+}
+
+func TestSatUnboundedOrder(t *testing.T) {
+	s := New(Domains{})
+	x, y := cond.CVar("x"), cond.CVar("y")
+	// Strict cycle.
+	f := cond.And(cond.Compare(x, cond.Lt, y), cond.Compare(y, cond.Lt, x))
+	if mustSat(t, s, f) {
+		t.Errorf("x<y<x should be unsat")
+	}
+	// Non-strict cycle is fine (x = y).
+	g := cond.And(cond.Compare(x, cond.Le, y), cond.Compare(y, cond.Le, x))
+	if !mustSat(t, s, g) {
+		t.Errorf("x<=y<=x should be sat")
+	}
+	// Integer gap: 3 < x < 4 has no integer solution.
+	h := cond.And(cond.Compare(x, cond.Gt, cond.Int(3)), cond.Compare(x, cond.Lt, cond.Int(4)))
+	if mustSat(t, s, h) {
+		t.Errorf("3<x<4 should be unsat over integers")
+	}
+	// 3 <= x < 4 pins x = 3.
+	k := cond.And(
+		cond.Compare(x, cond.Ge, cond.Int(3)),
+		cond.Compare(x, cond.Lt, cond.Int(4)),
+		cond.Compare(x, cond.Ne, cond.Int(3)),
+	)
+	if mustSat(t, s, k) {
+		t.Errorf("3<=x<4 with x!=3 should be unsat")
+	}
+	// Exclusions can exhaust a finite interval.
+	m := cond.And(
+		cond.Compare(x, cond.Ge, cond.Int(1)),
+		cond.Compare(x, cond.Le, cond.Int(2)),
+		cond.Compare(x, cond.Ne, cond.Int(1)),
+		cond.Compare(x, cond.Ne, cond.Int(2)),
+	)
+	if mustSat(t, s, m) {
+		t.Errorf("x in [1,2] excluding both should be unsat")
+	}
+}
+
+func TestSatOrderChainPropagation(t *testing.T) {
+	s := New(Domains{})
+	vars := []cond.Term{cond.CVar("a"), cond.CVar("b"), cond.CVar("c"), cond.CVar("d")}
+	var parts []*cond.Formula
+	for i := 0; i+1 < len(vars); i++ {
+		parts = append(parts, cond.Compare(vars[i], cond.Lt, vars[i+1]))
+	}
+	parts = append(parts, cond.Compare(vars[0], cond.Ge, cond.Int(0)))
+	parts = append(parts, cond.Compare(vars[len(vars)-1], cond.Le, cond.Int(3)))
+	if !mustSat(t, s, cond.And(parts...)) {
+		t.Errorf("a<b<c<d in [0,3] should be sat (0,1,2,3)")
+	}
+	parts = append(parts, cond.Compare(vars[len(vars)-1], cond.Le, cond.Int(2)))
+	if mustSat(t, s, cond.And(parts...)) {
+		t.Errorf("a<b<c<d in [0,2] should be unsat")
+	}
+}
+
+func TestSatDisjunction(t *testing.T) {
+	s := New(Domains{})
+	x := cond.CVar("x")
+	f := cond.And(
+		cond.Or(cond.Compare(x, cond.Eq, cond.Str("A")), cond.Compare(x, cond.Eq, cond.Str("B"))),
+		cond.Compare(x, cond.Ne, cond.Str("A")),
+	)
+	if !mustSat(t, s, f) {
+		t.Errorf("(x=A || x=B) && x!=A should be sat with x=B")
+	}
+	g := cond.And(f, cond.Compare(x, cond.Ne, cond.Str("B")))
+	if mustSat(t, s, g) {
+		t.Errorf("(x=A || x=B) && x!=A && x!=B should be unsat")
+	}
+}
+
+func TestSatMixedStringIntEquality(t *testing.T) {
+	s := New(Domains{})
+	x := cond.CVar("x")
+	// x = "A" and x = 1 forces a string and an int together.
+	f := cond.And(cond.Compare(x, cond.Eq, cond.Str("A")), cond.Compare(x, cond.Eq, cond.Int(1)))
+	if mustSat(t, s, f) {
+		t.Errorf("x=A && x=1 should be unsat")
+	}
+}
+
+func TestUnboundedSumError(t *testing.T) {
+	s := New(Domains{})
+	f := cond.AtomF(cond.NewSumAtom([]cond.Term{cond.CVar("x"), cond.CVar("y")}, cond.Eq, cond.Int(1)))
+	_, err := s.Satisfiable(f)
+	if !errors.Is(err, ErrUnboundedSum) {
+		t.Errorf("sum over unbounded c-vars should report ErrUnboundedSum, got %v", err)
+	}
+}
+
+func TestImpliesAndEquivalent(t *testing.T) {
+	s := New(boolDoms("x", "y"))
+	x, y := cond.CVar("x"), cond.CVar("y")
+	x1 := cond.Compare(x, cond.Eq, cond.Int(1))
+	y1 := cond.Compare(y, cond.Eq, cond.Int(1))
+
+	ok, err := s.Implies(cond.And(x1, y1), x1)
+	if err != nil || !ok {
+		t.Errorf("x=1&&y=1 should imply x=1 (%v, %v)", ok, err)
+	}
+	ok, err = s.Implies(x1, cond.And(x1, y1))
+	if err != nil || ok {
+		t.Errorf("x=1 should not imply x=1&&y=1 (%v, %v)", ok, err)
+	}
+	// Over {0,1}: x != 0 is equivalent to x = 1.
+	ok, err = s.Equivalent(cond.Compare(x, cond.Ne, cond.Int(0)), x1)
+	if err != nil || !ok {
+		t.Errorf("x!=0 should be equivalent to x=1 over {0,1} (%v, %v)", ok, err)
+	}
+	// Sum equivalence: x+y=2 over {0,1} iff x=1 && y=1.
+	sum := cond.AtomF(cond.NewSumAtom([]cond.Term{x, y}, cond.Eq, cond.Int(2)))
+	ok, err = s.Equivalent(sum, cond.And(x1, y1))
+	if err != nil || !ok {
+		t.Errorf("x+y=2 should be equivalent to x=1&&y=1 (%v, %v)", ok, err)
+	}
+}
+
+func TestValid(t *testing.T) {
+	s := New(boolDoms("x"))
+	x := cond.CVar("x")
+	f := cond.Or(cond.Compare(x, cond.Eq, cond.Int(0)), cond.Compare(x, cond.Eq, cond.Int(1)))
+	ok, err := s.Valid(f)
+	if err != nil || !ok {
+		t.Errorf("x=0 || x=1 should be valid over {0,1} (%v, %v)", ok, err)
+	}
+	ok, err = s.Valid(cond.Compare(x, cond.Eq, cond.Int(0)))
+	if err != nil || ok {
+		t.Errorf("x=0 should not be valid")
+	}
+}
+
+func TestCacheHits(t *testing.T) {
+	s := New(boolDoms("x"))
+	f := cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1))
+	mustSat(t, s, f)
+	before := s.Stats().CacheHits
+	mustSat(t, s, f)
+	if s.Stats().CacheHits != before+1 {
+		t.Errorf("second identical query should hit the cache")
+	}
+}
+
+func TestWorldsEnumeration(t *testing.T) {
+	s := New(boolDoms("x", "y"))
+	count := 0
+	err := s.Worlds([]string{"x", "y"}, func(m map[string]cond.Term) bool {
+		count++
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Worlds: %v", err)
+	}
+	if count != 4 {
+		t.Errorf("expected 4 worlds, got %d", count)
+	}
+	// Early stop.
+	count = 0
+	_ = s.Worlds([]string{"x", "y"}, func(m map[string]cond.Term) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop should halt enumeration, got %d", count)
+	}
+	// Unbounded variable is an error.
+	if err := s.Worlds([]string{"zz"}, func(map[string]cond.Term) bool { return true }); err == nil {
+		t.Errorf("Worlds over unbounded variable should error")
+	}
+}
+
+// randFormula builds a random formula over nVars boolean c-variables
+// named v0..v(n-1), with the given recursion depth.
+func randFormula(r *rand.Rand, nVars, depth int) *cond.Formula {
+	v := func() cond.Term { return cond.CVar(varName(r.Intn(nVars))) }
+	if depth == 0 || r.Intn(4) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return cond.Compare(v(), cond.Eq, cond.Int(int64(r.Intn(2))))
+		case 1:
+			return cond.Compare(v(), cond.Ne, cond.Int(int64(r.Intn(2))))
+		case 2:
+			return cond.Compare(v(), cond.Eq, v())
+		default:
+			sum := []cond.Term{v(), v()}
+			return cond.AtomF(cond.NewSumAtom(sum, cond.Op(r.Intn(6)), cond.Int(int64(r.Intn(3)))))
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		return cond.And(randFormula(r, nVars, depth-1), randFormula(r, nVars, depth-1))
+	case 1:
+		return cond.Or(randFormula(r, nVars, depth-1), randFormula(r, nVars, depth-1))
+	default:
+		return cond.Not(randFormula(r, nVars, depth-1))
+	}
+}
+
+func varName(i int) string { return string(rune('a' + i)) }
+
+// TestSatAgainstBruteForce is the core property test: on random
+// formulas over finite {0,1} domains the solver must agree with
+// explicit enumeration of all assignments.
+func TestSatAgainstBruteForce(t *testing.T) {
+	const nVars = 4
+	doms := Domains{}
+	names := make([]string, nVars)
+	for i := 0; i < nVars; i++ {
+		names[i] = varName(i)
+		doms[names[i]] = BoolDomain()
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randFormula(r, nVars, 3)
+		s := New(doms)
+		got, err := s.Satisfiable(f)
+		if err != nil {
+			t.Fatalf("Satisfiable(%v): %v", f, err)
+		}
+		want := false
+		err = s.Worlds(names, func(m map[string]cond.Term) bool {
+			g := f.Subst(m)
+			if g.IsTrue() {
+				want = true
+				return false
+			}
+			if !g.IsFalse() {
+				t.Fatalf("formula %v not ground after total substitution: %v", f, g)
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Worlds: %v", err)
+		}
+		if got != want {
+			t.Errorf("seed %d: formula %v: solver=%v brute=%v", seed, f, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestImpliesAgainstBruteForce checks implication on random formula
+// pairs against enumeration.
+func TestImpliesAgainstBruteForce(t *testing.T) {
+	const nVars = 3
+	doms := Domains{}
+	names := make([]string, nVars)
+	for i := 0; i < nVars; i++ {
+		names[i] = varName(i)
+		doms[names[i]] = BoolDomain()
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randFormula(r, nVars, 2)
+		g := randFormula(r, nVars, 2)
+		s := New(doms)
+		got, err := s.Implies(f, g)
+		if err != nil {
+			t.Fatalf("Implies(%v, %v): %v", f, g, err)
+		}
+		want := true
+		err = s.Worlds(names, func(m map[string]cond.Term) bool {
+			if f.Subst(m).IsTrue() && !g.Subst(m).IsTrue() {
+				want = false
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Worlds: %v", err)
+		}
+		if got != want {
+			t.Errorf("seed %d: %v => %v: solver=%v brute=%v", seed, f, g, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(check, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,8 @@
+package verify
+
+import (
+	"faure/internal/ctable"
+	"faure/internal/solver"
+)
+
+func newSolver(db *ctable.Database) *solver.Solver { return solver.New(db.Doms) }

@@ -1,0 +1,178 @@
+package verify
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"faure/internal/cond"
+	"faure/internal/containment"
+	"faure/internal/ctable"
+	"faure/internal/network"
+	"faure/internal/rewrite"
+)
+
+// randUpdate builds a random update over the §5 lb and fw relations.
+func randUpdate(rnd *rand.Rand) rewrite.Update {
+	subnets := []string{network.Mkt, network.RnD}
+	servers := []string{network.CS, network.GS}
+	mk := func(pred string) rewrite.Change {
+		return rewrite.Change{Pred: pred, Values: []cond.Term{
+			cond.Str(subnets[rnd.Intn(2)]),
+			cond.Str(servers[rnd.Intn(2)]),
+		}}
+	}
+	var u rewrite.Update
+	for i := 0; i < 1+rnd.Intn(2); i++ {
+		pred := []string{"lb", "fw"}[rnd.Intn(2)]
+		if rnd.Intn(2) == 0 {
+			u.Inserts = append(u.Inserts, mk(pred))
+		} else {
+			u.Deletes = append(u.Deletes, mk(pred))
+		}
+	}
+	return u
+}
+
+// randState builds a random concrete §5 state (subsets of the small
+// cross products for r, lb, fw).
+func randState(rnd *rand.Rand) *ctable.Database {
+	db := ctable.NewDatabase()
+	for name, d := range network.EnterpriseDomains() {
+		db.DeclareVar(name, d)
+	}
+	subnets := []string{network.Mkt, network.RnD}
+	servers := []string{network.CS, network.GS}
+	ports := []int64{80, 344, 7000}
+	r := ctable.NewTable("r", "subnet", "server", "port")
+	for _, s := range subnets {
+		for _, v := range servers {
+			for _, p := range ports {
+				if rnd.Intn(3) == 0 {
+					r.MustInsert(nil, cond.Str(s), cond.Str(v), cond.Int(p))
+				}
+			}
+		}
+	}
+	db.AddTable(r)
+	for _, name := range []string{"lb", "fw"} {
+		tbl := ctable.NewTable(name, "subnet", "server")
+		for _, s := range subnets {
+			for _, v := range servers {
+				if rnd.Intn(2) == 0 {
+					tbl.MustInsert(nil, cond.Str(s), cond.Str(v))
+				}
+			}
+		}
+		db.AddTable(tbl)
+	}
+	return db
+}
+
+// TestCategoryIISoundnessRandom: whenever the category (ii) test
+// claims a target holds after a random update, every concrete state
+// that satisfies the known constraints must indeed satisfy the target
+// after the update is applied.
+func TestCategoryIISoundnessRandom(t *testing.T) {
+	v := &Verifier{Doms: network.EnterpriseDomains(), Schema: network.EnterpriseSchema()}
+	known := []containment.Constraint{network.Clb(), network.Cs()}
+	targets := []containment.Constraint{network.T1(), network.T2()}
+	claims := 0
+	check := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		u := randUpdate(rnd)
+		for _, target := range targets {
+			rep, err := v.CategoryII(target, u, known)
+			if err != nil {
+				t.Fatalf("seed %d: CategoryII: %v", seed, err)
+			}
+			if rep.Verdict != Holds {
+				continue
+			}
+			claims++
+			// Sample several random concrete states; only those
+			// satisfying the knowns pre-update are relevant.
+			for i := 0; i < 8; i++ {
+				db := randState(rnd)
+				ok := true
+				for _, k := range known {
+					kr, err := v.Direct(k, db)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if kr.Verdict != Holds {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				post, err := v.DirectAfterUpdate(target, u, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if post.Verdict != Holds {
+					t.Errorf("seed %d: category (ii) claimed %s holds under [%v], but state violates it post-update:\n%s",
+						seed, target.Name, u, db)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	t.Logf("category (ii) Holds claims validated: %d", claims)
+}
+
+// TestCategoryISoundnessRandom mirrors the above for category (i):
+// a Holds claim means every state satisfying the knowns satisfies the
+// target (no update involved).
+func TestCategoryISoundnessRandom(t *testing.T) {
+	v := &Verifier{Doms: network.EnterpriseDomains(), Schema: network.EnterpriseSchema()}
+	known := []containment.Constraint{network.Clb(), network.Cs()}
+	targets := []containment.Constraint{network.T1(), network.T2()}
+	check := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		for _, target := range targets {
+			rep, err := v.CategoryI(target, known)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Verdict != Holds {
+				continue
+			}
+			for i := 0; i < 8; i++ {
+				db := randState(rnd)
+				ok := true
+				for _, k := range known {
+					kr, err := v.Direct(k, db)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if kr.Verdict != Holds {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				dr, err := v.Direct(target, db)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dr.Verdict != Holds {
+					t.Errorf("seed %d: category (i) claimed %s, but a compliant state violates it", seed, target.Name)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

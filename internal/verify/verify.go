@@ -1,0 +1,267 @@
+// Package verify implements fauré's relative-complete verification
+// (§5): a ladder of tests that each give a decisive answer whenever
+// the information available to the verifier permits one, and answer
+// Unknown only when more information is genuinely needed.
+//
+//   - Category (i) — only the constraint definitions are known: the
+//     target holds after any update that preserves the known
+//     constraints iff the knowns subsume it (program containment,
+//     decided by the fauré-log reduction in package containment).
+//   - Category (ii) — the update is also known: the target is rewritten
+//     to reflect the update and checked against the knowns on the
+//     pre-update state.
+//   - Direct — the full network state is known: the constraint is
+//     simply evaluated; the verdict is per possible world (Holds,
+//     Violated, or Conditional when it depends on the unknowns).
+package verify
+
+import (
+	"fmt"
+	"strings"
+
+	"faure/internal/cond"
+	"faure/internal/containment"
+	"faure/internal/ctable"
+	"faure/internal/faurelog"
+	"faure/internal/rewrite"
+	"faure/internal/solver"
+)
+
+// Verdict is a relative-complete answer.
+type Verdict int
+
+const (
+	// Unknown means the available information cannot decide the
+	// question; a stronger test (more information) is needed.
+	Unknown Verdict = iota
+	// Holds means the constraint is guaranteed to hold.
+	Holds
+	// Violated means the constraint is violated in every possible
+	// world of the state.
+	Violated
+	// Conditional means the constraint's status depends on the
+	// unknowns: it is violated in some possible worlds and holds in
+	// others. The report carries the violation condition.
+	Conditional
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case Holds:
+		return "holds"
+	case Violated:
+		return "violated"
+	case Conditional:
+		return "conditional"
+	default:
+		return "unknown"
+	}
+}
+
+// Report is the outcome of one verification test.
+type Report struct {
+	Verdict Verdict
+	// Reason explains the verdict in one sentence.
+	Reason string
+	// ViolationCond, for Conditional direct evaluation, is the
+	// condition under which the constraint is violated.
+	ViolationCond *cond.Formula
+}
+
+// Verifier bundles the schema knowledge shared by all tests.
+type Verifier struct {
+	// Doms declares the c-variables of the shared c-domain.
+	Doms solver.Domains
+	// Schema optionally types base-relation attributes (see
+	// containment.Schema).
+	Schema *containment.Schema
+}
+
+// CategoryI runs the weakest test: only the constraint definitions are
+// visible. It answers Holds when the known constraints subsume the
+// target and Unknown otherwise.
+func (v *Verifier) CategoryI(target containment.Constraint, known []containment.Constraint) (Report, error) {
+	target, ferr := flattenIfNeeded(target)
+	if ferr != nil {
+		// A target outside the subsumption fragment (recursive or
+		// negated intermediates) is not an error: this level simply
+		// cannot decide it.
+		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
+	}
+	res, err := containment.Subsumes(target, known, v.Doms, v.Schema)
+	if err != nil {
+		return Report{}, err
+	}
+	if res.Contained {
+		return Report{Verdict: Holds, Reason: fmt.Sprintf("%s is subsumed by {%s}", target.Name, names(known))}, nil
+	}
+	return Report{Verdict: Unknown, Reason: fmt.Sprintf("%s is not subsumed by {%s} (rule %s); more information needed", target.Name, names(known), res.Witness)}, nil
+}
+
+// CategoryII runs the stronger test: the update is also visible. It
+// answers Holds when the target, rewritten to reflect the update, is
+// subsumed by the constraints known to hold before the update.
+func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, known []containment.Constraint) (Report, error) {
+	target, ferr := flattenIfNeeded(target)
+	if ferr != nil {
+		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
+	}
+	res, err := containment.SubsumesAfterUpdate(target, u, known, v.Doms, v.Schema)
+	if err != nil {
+		return Report{}, err
+	}
+	if res.Contained {
+		return Report{Verdict: Holds, Reason: fmt.Sprintf("%s rewritten under update [%s] is subsumed by {%s}", target.Name, u, names(known))}, nil
+	}
+	return Report{Verdict: Unknown, Reason: fmt.Sprintf("%s under update [%s] is not subsumed by {%s} (rule %s)", target.Name, u, names(known), res.Witness)}, nil
+}
+
+// Direct evaluates the constraint on a fully-known (possibly still
+// partial, i.e. c-table) state: Holds when no satisfiable panic is
+// derivable, Violated when panic is derivable in every world, and
+// Conditional with the violation condition otherwise.
+func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (Report, error) {
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{})
+	if err != nil {
+		return Report{}, err
+	}
+	violation := cond.False()
+	if tbl := res.DB.Table(containment.PanicPred); tbl != nil {
+		for _, tp := range tbl.Tuples {
+			violation = cond.Or(violation, tp.Condition())
+		}
+	}
+	s := solver.New(db.Doms)
+	sat, err := s.Satisfiable(violation)
+	if err != nil {
+		return Report{}, err
+	}
+	if !sat {
+		return Report{Verdict: Holds, Reason: fmt.Sprintf("%s derives no satisfiable panic", target.Name)}, nil
+	}
+	valid, err := s.Valid(violation)
+	if err != nil {
+		return Report{}, err
+	}
+	if valid {
+		return Report{Verdict: Violated, Reason: fmt.Sprintf("%s is violated in every possible world", target.Name), ViolationCond: violation}, nil
+	}
+	return Report{
+		Verdict:       Conditional,
+		Reason:        fmt.Sprintf("%s is violated exactly when %v", target.Name, violation),
+		ViolationCond: violation,
+	}, nil
+}
+
+// DirectAfterUpdate applies the update to the state and evaluates the
+// constraint on the result — the ground truth the category (ii) test
+// is validated against. It also demonstrates the Listing 4 rewrite:
+// the same verdict is obtained by evaluating the rewritten constraint
+// on the pre-update state.
+func (v *Verifier) DirectAfterUpdate(target containment.Constraint, u rewrite.Update, db *ctable.Database) (Report, error) {
+	post, err := rewrite.Apply(db, u)
+	if err != nil {
+		return Report{}, err
+	}
+	return v.Direct(target, post)
+}
+
+// DirectViaRewrite evaluates the Listing 4 rewritten constraint C' on
+// the pre-update state; by construction the verdict equals
+// DirectAfterUpdate's.
+func (v *Verifier) DirectViaRewrite(target containment.Constraint, u rewrite.Update, db *ctable.Database) (Report, error) {
+	rewritten, err := rewrite.RewriteConstraint(target.Program, u)
+	if err != nil {
+		return Report{}, err
+	}
+	c := containment.Constraint{Name: target.Name + "'", Program: rewritten}
+	return v.Direct(c, db)
+}
+
+// Ladder runs the tests in order of increasing information — category
+// (i), then category (ii) if an update is supplied, then direct
+// evaluation if a state is supplied — returning the first decisive
+// report, each annotated with the level that decided it.
+func (v *Verifier) Ladder(target containment.Constraint, known []containment.Constraint, u *rewrite.Update, db *ctable.Database) (Report, string, error) {
+	rep, err := v.CategoryI(target, known)
+	if err != nil {
+		return Report{}, "", err
+	}
+	if rep.Verdict != Unknown {
+		return rep, "category-i", nil
+	}
+	if u != nil {
+		rep, err = v.CategoryII(target, *u, known)
+		if err != nil {
+			return Report{}, "", err
+		}
+		if rep.Verdict != Unknown {
+			return rep, "category-ii", nil
+		}
+	}
+	if db != nil {
+		if u != nil {
+			rep, err = v.DirectAfterUpdate(target, *u, db)
+		} else {
+			rep, err = v.Direct(target, db)
+		}
+		if err != nil {
+			return Report{}, "", err
+		}
+		return rep, "direct", nil
+	}
+	return rep, "exhausted", nil
+}
+
+func names(cs []containment.Constraint) string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Name
+	}
+	return strings.Join(out, ", ")
+}
+
+// ExplainViolations evaluates the constraint with derivation tracing
+// and returns the explanation tree of every satisfiable panic
+// derivation — why the constraint is (conditionally) violated on this
+// state. An empty slice means the constraint holds.
+func (v *Verifier) ExplainViolations(target containment.Constraint, db *ctable.Database) ([]*faurelog.Explanation, error) {
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	tbl := res.DB.Table(containment.PanicPred)
+	if tbl == nil {
+		return nil, nil
+	}
+	s := solver.New(db.Doms)
+	var out []*faurelog.Explanation
+	for _, tp := range tbl.Tuples {
+		sat, err := s.Satisfiable(tp.Condition())
+		if err != nil {
+			return nil, err
+		}
+		if !sat {
+			continue
+		}
+		if e := res.Explain(containment.PanicPred, tp); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out, nil
+}
+
+// flattenIfNeeded inlines a target's intermediate predicates so the
+// subsumption tests can process it; flat targets pass through
+// unchanged.
+func flattenIfNeeded(target containment.Constraint) (containment.Constraint, error) {
+	if len(target.Program.IDB()) <= 1 {
+		return target, nil
+	}
+	flat, err := containment.Flatten(target.Program)
+	if err != nil {
+		return containment.Constraint{}, fmt.Errorf("verify: target %s: %w", target.Name, err)
+	}
+	return containment.Constraint{Name: target.Name, Program: flat}, nil
+}

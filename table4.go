@@ -1,0 +1,159 @@
+package faure
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"faure/internal/faurelog"
+	"faure/internal/network"
+	"faure/internal/rib"
+)
+
+// Table4Config parameterises one run of the paper's Table 4
+// experiment: all-pairs reachability (q4–q5) and the three failure
+// patterns (q6–q8) over a synthetic RIB-derived forwarding state.
+type Table4Config struct {
+	// Prefixes is the workload size (the paper sweeps 1000 → 922067).
+	Prefixes int
+	// Seed fixes the synthetic RIB.
+	Seed int64
+	// PoolSize is the link-state variable pool (≥ 3); see package rib.
+	PoolSize int
+	// Q7Src/Q7Dst pin q7's node pair (the paper uses 2 and 5).
+	Q7Src, Q7Dst int
+	// Q8Src pins q8's source (the paper uses 1).
+	Q8Src int
+	// Options are passed to every evaluation (ablation knobs).
+	Options Options
+}
+
+func (c Table4Config) withDefaults() Table4Config {
+	if c.Prefixes == 0 {
+		c.Prefixes = 1000
+	}
+	if c.PoolSize == 0 {
+		c.PoolSize = 10
+	}
+	if c.Q7Src == 0 {
+		c.Q7Src = 2
+	}
+	if c.Q7Dst == 0 {
+		c.Q7Dst = 5
+	}
+	if c.Q8Src == 0 {
+		c.Q8Src = 1
+	}
+	return c
+}
+
+// Table4Row is one query's measurements, matching the paper's columns:
+// relational ("sql") time, condition-solving ("Z3") time, and the
+// number of tuples produced.
+type Table4Row struct {
+	Query  string
+	SQL    time.Duration
+	Solver time.Duration
+	Tuples int
+}
+
+// Table4Result is a full row group of Table 4 for one prefix count.
+type Table4Result struct {
+	Prefixes int
+	Rows     []Table4Row // q4-q5, q6, q7, q8 in order
+}
+
+// RunTable4 regenerates one row group of the paper's Table 4: it
+// builds the synthetic forwarding state, computes all-pairs
+// reachability with the recursive q4–q5, then runs the failure
+// patterns q6 (2-link failure), q7 (pinned pair, nested over q6) and
+// q8 (at least one failure) over it, reporting per-phase times and
+// tuple counts.
+func RunTable4(cfg Table4Config) (*Table4Result, error) {
+	cfg = cfg.withDefaults()
+	r := rib.Generate(rib.Config{Prefixes: cfg.Prefixes, PoolSize: cfg.PoolSize, Seed: cfg.Seed})
+	db := r.ForwardingDatabase()
+
+	out := &Table4Result{Prefixes: cfg.Prefixes}
+
+	// q4–q5: all-pairs reachability.
+	reachRes, err := faurelog.Eval(network.ReachabilityProgram(), db, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("q4-q5: %w", err)
+	}
+	reach := reachRes.DB.Table("reach")
+	out.Rows = append(out.Rows, Table4Row{
+		Query:  "q4-q5",
+		SQL:    reachRes.Stats.SQLTime,
+		Solver: reachRes.Stats.SolverTime,
+		Tuples: reach.Len(),
+	})
+
+	// q6: reachability under the 2-link-failure pattern.
+	res6, err := faurelog.Eval(network.TwoLinkFailureProgram("x", "y", "z"), reachRes.DB, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("q6: %w", err)
+	}
+	out.Rows = append(out.Rows, Table4Row{
+		Query:  "q6",
+		SQL:    res6.Stats.SQLTime,
+		Solver: res6.Stats.SolverTime,
+		Tuples: res6.DB.Table("t1").Len(),
+	})
+
+	// q7: nested query over q6's output, pinned to one node pair.
+	res7, err := faurelog.Eval(network.PinnedPairFailureProgram(cfg.Q7Src, cfg.Q7Dst, "y"), res6.DB, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("q7: %w", err)
+	}
+	out.Rows = append(out.Rows, Table4Row{
+		Query:  "q7",
+		SQL:    res7.Stats.SQLTime,
+		Solver: res7.Stats.SolverTime,
+		Tuples: res7.DB.Table("t2").Len(),
+	})
+
+	// q8: at-least-one-failure from a pinned source.
+	res8, err := faurelog.Eval(network.AtLeastOneFailureProgram(cfg.Q8Src, "y", "z"), reachRes.DB, cfg.Options)
+	if err != nil {
+		return nil, fmt.Errorf("q8: %w", err)
+	}
+	out.Rows = append(out.Rows, Table4Row{
+		Query:  "q8",
+		SQL:    res8.Stats.SQLTime,
+		Solver: res8.Stats.SolverTime,
+		Tuples: res8.DB.Table("t3").Len(),
+	})
+	return out, nil
+}
+
+// Format renders row groups in the paper's Table 4 layout.
+func FormatTable4(results []*Table4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-9s", "#prefix")
+	for _, q := range []string{"q4-q5", "q6", "q7", "q8"} {
+		fmt.Fprintf(&b, " | %-28s", q+" (sql / solver / #tuples)")
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 9+4*31))
+	b.WriteByte('\n')
+	for _, res := range results {
+		fmt.Fprintf(&b, "%-9d", res.Prefixes)
+		for _, row := range res.Rows {
+			fmt.Fprintf(&b, " | %9s %9s %8d", fmtDur(row.SQL), fmtDur(row.Solver), row.Tuples)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
