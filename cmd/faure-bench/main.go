@@ -5,6 +5,11 @@
 // paper, our solver here) phases reported separately.
 //
 //	faure-bench -prefixes 1000,10000 [-seed 1] [-pool 10] [-ablate]
+//	faure-bench -prefixes 1000 -json [-out BENCH_faurelog.json]
+//
+// With -json the run also writes a machine-readable report (per
+// workload: wall/sql/solver time, iterations, derived/pruned/absorbed
+// tuple counts, solver calls) for tracking across commits.
 //
 // The paper's largest input (922067 prefixes, the full route-views
 // RIB) is supported but takes correspondingly long; pass it
@@ -12,8 +17,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,33 +33,74 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	pool := flag.Int("pool", 10, "link-state variable pool size (>= 3)")
 	ablate := flag.Bool("ablate", false, "also run the design-choice ablations at the first prefix count")
+	jsonOut := flag.Bool("json", false, "write a machine-readable report")
+	outPath := flag.String("out", "BENCH_faurelog.json", "report path for -json")
 	flag.Parse()
 
+	sizes, err := parseSizes(*prefixes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faure-bench:", err)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, sizes, *seed, *pool, *ablate, *jsonOut, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "faure-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// parseSizes reads the -prefixes sweep list.
+func parseSizes(s string) ([]int, error) {
 	var sizes []int
-	for _, f := range strings.Split(*prefixes, ",") {
+	for _, f := range strings.Split(s, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "faure-bench: bad prefix count %q\n", f)
-			os.Exit(2)
+			return nil, fmt.Errorf("bad prefix count %q", f)
 		}
 		sizes = append(sizes, n)
 	}
+	return sizes, nil
+}
 
+// benchWorkload is one query at one prefix count in the JSON report.
+type benchWorkload struct {
+	Name       string  `json:"name"`
+	Prefixes   int     `json:"prefixes"`
+	WallMS     float64 `json:"wall_ms"`
+	SQLMS      float64 `json:"sql_ms"`
+	SolverMS   float64 `json:"solver_ms"`
+	Iterations int     `json:"iterations"`
+	Derived    int     `json:"derived"`
+	Pruned     int     `json:"pruned"`
+	Absorbed   int     `json:"absorbed"`
+	SatCalls   int     `json:"sat_calls"`
+	Tuples     int     `json:"tuples"`
+}
+
+// benchReport is the top-level JSON document.
+type benchReport struct {
+	Benchmark string          `json:"benchmark"`
+	Seed      int64           `json:"seed"`
+	Pool      int             `json:"pool"`
+	Workloads []benchWorkload `json:"workloads"`
+}
+
+// run executes the sweep (and optional ablations), prints the Table 4
+// layout to w, and writes the JSON report when requested.
+func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, outPath string) error {
 	var results []*faure.Table4Result
 	for _, n := range sizes {
-		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: *seed, PoolSize: *pool})
+		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: seed, PoolSize: pool})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "faure-bench:", err)
-			os.Exit(1)
+			return err
 		}
 		results = append(results, res)
 	}
-	fmt.Println("Table 4: running time of reachability analysis (synthetic RIB workload)")
-	fmt.Print(faure.FormatTable4(results))
+	fmt.Fprintln(w, "Table 4: running time of reachability analysis (synthetic RIB workload)")
+	fmt.Fprint(w, faure.FormatTable4(results))
 
-	if *ablate {
-		fmt.Println()
-		fmt.Println("Ablations (prefix count =", sizes[0], "):")
+	if ablate {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "Ablations (prefix count =", sizes[0], "):")
 		variants := []struct {
 			name string
 			opts faure.Options
@@ -64,17 +112,57 @@ func main() {
 			{"no-solver-cache", faure.Options{NoSolverCache: true}},
 		}
 		for _, v := range variants {
-			res, err := faure.RunTable4(faure.Table4Config{Prefixes: sizes[0], Seed: *seed, PoolSize: *pool, Options: v.opts})
+			res, err := faure.RunTable4(faure.Table4Config{Prefixes: sizes[0], Seed: seed, PoolSize: pool, Options: v.opts})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "faure-bench:", err)
-				os.Exit(1)
+				return err
 			}
 			total := res.Rows[0].SQL + res.Rows[0].Solver
 			for _, r := range res.Rows[1:] {
 				total += r.SQL + r.Solver
 			}
-			fmt.Printf("  %-16s total=%v (q4-q5 sql=%v solver=%v, tuples=%d)\n",
+			fmt.Fprintf(w, "  %-16s total=%v (q4-q5 sql=%v solver=%v, tuples=%d)\n",
 				v.name, total, res.Rows[0].SQL, res.Rows[0].Solver, res.Rows[0].Tuples)
 		}
 	}
+
+	if jsonOut {
+		report := buildReport(results, seed, pool)
+		if err := writeReport(outPath, report); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s (%d workloads)\n", outPath, len(report.Workloads))
+	}
+	return nil
+}
+
+// buildReport converts the sweep results into the JSON document.
+func buildReport(results []*faure.Table4Result, seed int64, pool int) benchReport {
+	report := benchReport{Benchmark: "table4", Seed: seed, Pool: pool}
+	for _, res := range results {
+		for _, row := range res.Rows {
+			report.Workloads = append(report.Workloads, benchWorkload{
+				Name:       row.Query,
+				Prefixes:   res.Prefixes,
+				WallMS:     float64(row.Wall.Microseconds()) / 1000,
+				SQLMS:      float64(row.SQL.Microseconds()) / 1000,
+				SolverMS:   float64(row.Solver.Microseconds()) / 1000,
+				Iterations: row.Iterations,
+				Derived:    row.Derived,
+				Pruned:     row.Pruned,
+				Absorbed:   row.Absorbed,
+				SatCalls:   row.SatCalls,
+				Tuples:     row.Tuples,
+			})
+		}
+	}
+	return report
+}
+
+// writeReport marshals the report with stable indentation.
+func writeReport(path string, report benchReport) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

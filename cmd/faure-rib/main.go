@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"faure/internal/faurelog"
+	"faure/internal/obsflag"
 	"faure/internal/rib"
 )
 
@@ -53,9 +54,14 @@ func cmdGen(args []string) error {
 	seed := fs.Int64("seed", 1, "generator seed")
 	paths := fs.Int("paths", 5, "AS paths per prefix")
 	pool := fs.Int("pool", 10, "link-state variable pool size")
+	ob := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := ob.Init(); err != nil {
+		return err
+	}
+	defer func() { _ = ob.Close(os.Stderr) }()
 	r := rib.Generate(rib.Config{Prefixes: *prefixes, Seed: *seed, PathsPerPrefix: *paths, PoolSize: *pool})
 	return r.Write(os.Stdout)
 }
@@ -75,9 +81,14 @@ func cmdCompile(args []string) error {
 	fs := flag.NewFlagSet("compile", flag.ExitOnError)
 	pool := fs.Int("pool", 10, "link-state variable pool size")
 	seed := fs.Int64("seed", 1, "guard-assignment seed")
+	ob := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := ob.Init(); err != nil {
+		return err
+	}
+	defer func() { _ = ob.Close(os.Stderr) }()
 	r, err := rib.Parse(os.Stdin)
 	if err != nil {
 		return err

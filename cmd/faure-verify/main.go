@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"faure"
+	"faure/internal/obsflag"
 )
 
 type multiFlag []string
@@ -40,20 +41,27 @@ func main() {
 	statePath := flag.String("state", "", "network state file (c-table database)")
 	withUpdate := flag.Bool("builtin-update", true, "built-in scenario: include the Listing 4 update")
 	withState := flag.Bool("builtin-state", true, "built-in scenario: include the concrete state")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
+	if err := ob.Init(); err != nil {
+		fmt.Fprintln(os.Stderr, "faure-verify:", err)
+		os.Exit(1)
+	}
+	defer func() { _ = ob.Close(os.Stderr) }()
+
 	if *target == "" {
-		runBuiltin(*withUpdate, *withState)
+		runBuiltin(*withUpdate, *withState, ob.Observer())
 		return
 	}
-	if err := runFiles(*target, knownPaths, *updatePath, *statePath); err != nil {
+	if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob.Observer()); err != nil {
 		fmt.Fprintln(os.Stderr, "faure-verify:", err)
 		os.Exit(1)
 	}
 }
 
-func runBuiltin(withUpdate, withState bool) {
-	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema()}
+func runBuiltin(withUpdate, withState bool, o faure.Observer) {
+	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(), Obs: o}
 	known := []faure.Constraint{faure.Clb(), faure.Cs()}
 	update := faure.ListingFourUpdate()
 	state := faure.EnterpriseState(false)
@@ -75,7 +83,7 @@ func runBuiltin(withUpdate, withState bool) {
 	}
 }
 
-func runFiles(targetPath string, knownPaths []string, updatePath, statePath string) error {
+func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, o faure.Observer) error {
 	target, err := loadConstraint(targetPath)
 	if err != nil {
 		return err
@@ -113,7 +121,7 @@ func runFiles(targetPath string, knownPaths []string, updatePath, statePath stri
 		}
 		doms = state.Doms
 	}
-	v := &faure.Verifier{Doms: doms}
+	v := &faure.Verifier{Doms: doms, Obs: o}
 	report(target.Name, v, target, known, update, state)
 	return nil
 }

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"faure"
+	"faure/internal/obsflag"
 )
 
 func main() {
@@ -58,7 +59,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  faure eval -db <file> -program <file> [-table <pred>] [-stats]
+  faure eval -db <file> -program <file> [-table <pred>] [-stats] [-trace] [-metrics text|json] [-debug-addr :8080]
   faure worlds -db <file>
   faure check -program <file>
   faure sql -db <file> -program <file>   (print the compiled SQL script)
@@ -94,12 +95,18 @@ func cmdEval(args []string) error {
 	backend := fs.String("backend", "native", "evaluation backend: native or sql")
 	simplify := fs.Bool("simplify", false, "simplify derived conditions for display")
 	explain := fs.String("explain", "", "trace evaluation and print derivations of this predicate")
+	trace := fs.Bool("trace", false, "trace evaluation and print the derivation tree of every derived tuple")
+	ob := obsflag.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dbPath == "" || *progPath == "" {
 		return fmt.Errorf("eval requires -db and -program")
 	}
+	if err := ob.Init(); err != nil {
+		return err
+	}
+	defer func() { _ = ob.Close(os.Stderr) }()
 	db, err := loadDB(*dbPath)
 	if err != nil {
 		return err
@@ -113,7 +120,8 @@ func cmdEval(args []string) error {
 	case "native":
 		res, err = faure.Eval(prog, db, faure.Options{
 			NoEagerPrune: *noPrune, NoAbsorb: *noAbsorb, NoIndex: *noIndex,
-			Trace: *explain != "",
+			Trace:    *explain != "" || *trace,
+			Observer: ob.Observer(),
 		})
 		if err != nil {
 			return err
@@ -162,6 +170,27 @@ func cmdEval(args []string) error {
 		fmt.Printf("derivations of %s:\n", *explain)
 		for _, e := range exps {
 			fmt.Print(e)
+		}
+	}
+	if *trace {
+		if *backend != "native" {
+			return fmt.Errorf("-trace requires the native backend (sql backend does not trace)")
+		}
+		idb := prog.IDB()
+		names := make([]string, 0, len(idb))
+		for n := range idb {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			exps := res.ExplainAll(n)
+			if len(exps) == 0 {
+				continue
+			}
+			fmt.Printf("derivations of %s:\n", n)
+			for _, e := range exps {
+				fmt.Print(e)
+			}
 		}
 	}
 	if *stats {

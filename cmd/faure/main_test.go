@@ -1,8 +1,10 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -45,6 +47,71 @@ func TestCmdEvalVariants(t *testing.T) {
 		if err := cmdEval(args); err != nil {
 			t.Errorf("cmdEval(%v): %v", args, err)
 		}
+	}
+}
+
+// capture runs fn with os.Stdout and os.Stderr redirected and returns
+// what was written to each.
+func capture(t *testing.T, fn func() error) (stdout, stderr string, err error) {
+	t.Helper()
+	oldOut, oldErr := os.Stdout, os.Stderr
+	ro, wo, _ := os.Pipe()
+	re, we, _ := os.Pipe()
+	os.Stdout, os.Stderr = wo, we
+	err = fn()
+	os.Stdout, os.Stderr = oldOut, oldErr
+	wo.Close()
+	we.Close()
+	bo, _ := io.ReadAll(ro)
+	be, _ := io.ReadAll(re)
+	return string(bo), string(be), err
+}
+
+func TestCmdEvalTrace(t *testing.T) {
+	db, prog := demoFiles(t)
+	out, _, err := capture(t, func() error {
+		return cmdEval([]string{"-db", db, "-program", prog, "-trace"})
+	})
+	if err != nil {
+		t.Fatalf("cmdEval -trace: %v", err)
+	}
+	if !strings.Contains(out, "derivations of reach") {
+		t.Errorf("-trace output missing derivation header:\n%s", out)
+	}
+	// The recursive rule's derivation tree nests its reach premise.
+	if !strings.Contains(out, "reach(F0, 1, 4)") {
+		t.Errorf("-trace output missing recursive derivation:\n%s", out)
+	}
+	// The sql backend does not trace.
+	if err := cmdEval([]string{"-db", db, "-program", prog, "-trace", "-backend", "sql"}); err == nil {
+		t.Error("cmdEval -trace -backend sql should fail")
+	}
+}
+
+func TestCmdEvalMetrics(t *testing.T) {
+	db, prog := demoFiles(t)
+	_, errOut, err := capture(t, func() error {
+		return cmdEval([]string{"-db", db, "-program", prog, "-metrics", "text"})
+	})
+	if err != nil {
+		t.Fatalf("cmdEval -metrics text: %v", err)
+	}
+	for _, want := range []string{"eval.derived", "solver.sat_calls", "eval.sql_time"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("-metrics text missing %q:\n%s", want, errOut)
+		}
+	}
+	_, errOut, err = capture(t, func() error {
+		return cmdEval([]string{"-db", db, "-program", prog, "-metrics", "json"})
+	})
+	if err != nil {
+		t.Fatalf("cmdEval -metrics json: %v", err)
+	}
+	if !strings.Contains(errOut, `"counters"`) {
+		t.Errorf("-metrics json not JSON:\n%s", errOut)
+	}
+	if err := cmdEval([]string{"-db", db, "-program", prog, "-metrics", "xml"}); err == nil {
+		t.Error("unknown -metrics format should fail")
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"faure/internal/lossless"
 	"faure/internal/minisql"
 	"faure/internal/network"
+	"faure/internal/obs"
 	"faure/internal/rewrite"
 	"faure/internal/rib"
 	"faure/internal/solver"
@@ -232,6 +233,44 @@ type LosslessMismatch = lossless.Mismatch
 // validating new uncertain-network encodings on small instances.
 func CheckLossless(prog *Program, db *Database, vars []string, limit int) ([]LosslessMismatch, error) {
 	return lossless.Check(prog, db, vars, limit)
+}
+
+// Observability types: an evaluation, solver, or verifier can be
+// wired to an Observer; Metrics is the recording implementation
+// (counters, gauges, latency percentiles, hierarchical spans).
+type (
+	// Observer receives spans, counters, gauges and distributions from
+	// the analysis layers. A nil observer disables observation at ~zero
+	// cost.
+	Observer = obs.Observer
+	// Metrics is the concurrency-safe recording Observer; snapshot it
+	// with Snapshot() and render with JSON()/Text().
+	Metrics = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a Metrics registry.
+	MetricsSnapshot = obs.Snapshot
+	// ObsSpan is one hierarchical timing span.
+	ObsSpan = obs.Span
+)
+
+// NewMetrics returns an empty recording observer.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WithObserver returns a copy of opts wired to o, so an evaluation
+// reports its spans (eval → iteration → rule), per-rule derivation
+// counts and the SQL-vs-solver time split:
+//
+//	m := faure.NewMetrics()
+//	res, _ := faure.Eval(prog, db, faure.WithObserver(faure.Options{}, m))
+//	fmt.Print(m.Snapshot().Text())
+func WithObserver(opts Options, o Observer) Options {
+	opts.Observer = o
+	return opts
+}
+
+// ServeDebug starts the pprof/expvar/metrics debug endpoint (the
+// -debug-addr flag of the CLI tools); reg may be nil.
+func ServeDebug(addr string, reg *Metrics) (*obs.DebugServer, error) {
+	return obs.ServeDebug(addr, reg)
 }
 
 // Eval runs a fauré-log program over a database.

@@ -43,6 +43,7 @@ import (
 	"faure/internal/cond"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/obs"
 	"faure/internal/solver"
 )
 
@@ -130,6 +131,22 @@ type Result struct {
 // only base (EDB) relations, as the paper's T1 and T2 do. Containers
 // may use intermediate predicates freely (C_lb and C_s do).
 func Subsumes(target Constraint, known []Constraint, doms solver.Domains, schema *Schema) (Result, error) {
+	return SubsumesObserved(target, known, doms, schema, nil)
+}
+
+// SubsumesObserved is Subsumes with observability: o (nil disables)
+// receives a "containment.subsumes" span with one "containment.mapping"
+// child per target panic rule, and the category (i) check/outcome
+// counters. The inner evaluation and solver report through o as well.
+func SubsumesObserved(target Constraint, known []Constraint, doms solver.Domains, schema *Schema, o obs.Observer) (Result, error) {
+	obsOn := o != nil && o.Enabled()
+	ob := obs.OrNop(o)
+	var span obs.Span
+	if obsOn {
+		span = ob.StartSpan("containment.subsumes",
+			obs.String("target", target.Name), obs.Int("known", int64(len(known))))
+		defer span.End()
+	}
 	combined, err := combinePrograms(known)
 	if err != nil {
 		return Result{}, err
@@ -147,7 +164,7 @@ func Subsumes(target Constraint, known []Constraint, doms solver.Domains, schema
 		}
 	}
 	idb := target.Program.IDB()
-	for _, r := range target.Program.Rules {
+	for ri, r := range target.Program.Rules {
 		if r.Head.Pred != PanicPred {
 			return Result{}, fmt.Errorf("containment: target %s has non-flat rule %v (unfold intermediate predicates first)", target.Name, r)
 		}
@@ -156,27 +173,45 @@ func Subsumes(target Constraint, known []Constraint, doms solver.Domains, schema
 				return Result{}, fmt.Errorf("containment: target %s rule %v references intermediate predicate %s", target.Name, r, a.Pred)
 			}
 		}
-		ok, err := ruleContained(r, combined, base, doms, schema)
+		if obsOn {
+			ob.Count("containment.category_i.checks", 1)
+		}
+		ok, err := ruleContained(r, combined, base, doms, schema, span, ri, o)
 		if err != nil {
 			return Result{}, err
 		}
 		if !ok {
+			if obsOn {
+				ob.Count("containment.category_i.not_contained", 1)
+				span.SetAttrs(obs.Bool("contained", false))
+			}
 			return Result{Contained: false, Witness: r.String()}, nil
 		}
+	}
+	if obsOn {
+		ob.Count("containment.category_i.contained", 1)
+		span.SetAttrs(obs.Bool("contained", true))
 	}
 	return Result{Contained: true}, nil
 }
 
 // ruleContained freezes one panic rule of the contained candidate into
 // a canonical database and checks that the container program derives
-// panic on it under the rule's own conditions.
-func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema) (bool, error) {
+// panic on it under the rule's own conditions. parent/o carry the
+// observation context (a "containment.mapping" child span per rule).
+func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema, parent obs.Span, ruleIdx int, o obs.Observer) (bool, error) {
+	obsOn := o != nil && o.Enabled()
+	var span obs.Span
+	if obsOn {
+		span = parent.StartChild("containment.mapping", obs.Int("rule", int64(ruleIdx)))
+		defer span.End()
+	}
 	fr := NewFreezer(doms, schema)
 	db, assumption, err := fr.CanonicalDB(r, base)
 	if err != nil {
 		return false, err
 	}
-	res, err := faurelog.Eval(container, db, faurelog.Options{})
+	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o})
 	if err != nil {
 		return false, err
 	}
@@ -187,6 +222,10 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 		}
 	}
 	s := solver.New(db.Doms)
+	if obsOn {
+		s.SetObserver(o)
+		span.SetAttrs(obs.Int("panic_tuples", int64(len(panics))))
+	}
 	// A rule whose own conditions are contradictory never fires and is
 	// vacuously contained.
 	sat, err := s.Satisfiable(assumption)
@@ -196,7 +235,11 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 	if !sat {
 		return true, nil
 	}
-	return s.Implies(assumption, cond.Or(panics...))
+	contained, err := s.Implies(assumption, cond.Or(panics...))
+	if obsOn && err == nil {
+		span.SetAttrs(obs.Bool("contained", contained))
+	}
+	return contained, err
 }
 
 // combinePrograms unions the containers' rules, renaming intermediate

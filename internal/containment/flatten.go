@@ -6,6 +6,7 @@ import (
 
 	"faure/internal/cond"
 	"faure/internal/faurelog"
+	"faure/internal/obs"
 	"faure/internal/solver"
 )
 
@@ -284,9 +285,15 @@ func substHeadCond(ce faurelog.CondExpr, apply func(faurelog.Term) faurelog.Term
 // target, so constraints defined through intermediate predicates (like
 // the paper's C_lb and C_s) can appear on the left of ⊆.
 func SubsumesFlattened(target Constraint, known []Constraint, doms solver.Domains, schema *Schema) (Result, error) {
+	return SubsumesFlattenedObserved(target, known, doms, schema, nil)
+}
+
+// SubsumesFlattenedObserved is SubsumesFlattened with observability;
+// see SubsumesObserved.
+func SubsumesFlattenedObserved(target Constraint, known []Constraint, doms solver.Domains, schema *Schema, o obs.Observer) (Result, error) {
 	flat, err := Flatten(target.Program)
 	if err != nil {
 		return Result{}, err
 	}
-	return Subsumes(Constraint{Name: target.Name, Program: flat}, known, doms, schema)
+	return SubsumesObserved(Constraint{Name: target.Name, Program: flat}, known, doms, schema, o)
 }

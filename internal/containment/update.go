@@ -8,6 +8,7 @@ import (
 	"faure/internal/cond"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/obs"
 	"faure/internal/rewrite"
 	"faure/internal/solver"
 )
@@ -37,6 +38,23 @@ import (
 // in every world of the canonical pre-state consistent with the
 // assumption.
 func SubsumesAfterUpdate(target Constraint, u rewrite.Update, known []Constraint, doms solver.Domains, schema *Schema) (Result, error) {
+	return SubsumesAfterUpdateObserved(target, u, known, doms, schema, nil)
+}
+
+// SubsumesAfterUpdateObserved is SubsumesAfterUpdate with
+// observability: o (nil disables) receives a
+// "containment.subsumes_after_update" span with one
+// "containment.mapping" child per target panic rule, and the category
+// (ii) check/outcome counters.
+func SubsumesAfterUpdateObserved(target Constraint, u rewrite.Update, known []Constraint, doms solver.Domains, schema *Schema, o obs.Observer) (Result, error) {
+	obsOn := o != nil && o.Enabled()
+	ob := obs.OrNop(o)
+	var span obs.Span
+	if obsOn {
+		span = ob.StartSpan("containment.subsumes_after_update",
+			obs.String("target", target.Name), obs.Int("known", int64(len(known))))
+		defer span.End()
+	}
 	combined, err := combinePrograms(known)
 	if err != nil {
 		return Result{}, err
@@ -63,7 +81,7 @@ func SubsumesAfterUpdate(target Constraint, u rewrite.Update, known []Constraint
 		}
 	}
 	idb := target.Program.IDB()
-	for _, r := range target.Program.Rules {
+	for ri, r := range target.Program.Rules {
 		if r.Head.Pred != PanicPred {
 			return Result{}, fmt.Errorf("containment: target %s has non-flat rule %v", target.Name, r)
 		}
@@ -72,38 +90,74 @@ func SubsumesAfterUpdate(target Constraint, u rewrite.Update, known []Constraint
 				return Result{}, fmt.Errorf("containment: target %s rule %v references intermediate predicate %s", target.Name, r, a.Pred)
 			}
 		}
-		fr := NewFreezer(doms, schema)
-		db, assumption, err := fr.canonicalDBAfterUpdate(r, base, u)
-		if err != nil {
-			return Result{}, err
+		if obsOn {
+			ob.Count("containment.category_ii.checks", 1)
 		}
-		res, err := faurelog.Eval(combined, db, faurelog.Options{})
-		if err != nil {
-			return Result{}, err
+		var mapSpan obs.Span
+		if obsOn {
+			mapSpan = span.StartChild("containment.mapping", obs.Int("rule", int64(ri)))
 		}
-		var panics []*cond.Formula
-		if tbl := res.DB.Table(PanicPred); tbl != nil {
-			for _, tp := range tbl.Tuples {
-				panics = append(panics, tp.Condition())
-			}
+		ok, err := ruleContainedAfterUpdate(r, u, combined, base, doms, schema, mapSpan, o)
+		if obsOn {
+			mapSpan.End()
 		}
-		s := solver.New(db.Doms)
-		sat, err := s.Satisfiable(assumption)
-		if err != nil {
-			return Result{}, err
-		}
-		if !sat {
-			continue // the post-update violation scenario is unrealisable
-		}
-		ok, err := s.Implies(assumption, cond.Or(panics...))
 		if err != nil {
 			return Result{}, err
 		}
 		if !ok {
+			if obsOn {
+				ob.Count("containment.category_ii.not_contained", 1)
+				span.SetAttrs(obs.Bool("contained", false))
+			}
 			return Result{Contained: false, Witness: r.String()}, nil
 		}
 	}
+	if obsOn {
+		ob.Count("containment.category_ii.contained", 1)
+		span.SetAttrs(obs.Bool("contained", true))
+	}
 	return Result{Contained: true}, nil
+}
+
+// ruleContainedAfterUpdate runs the category (ii) check for one target
+// panic rule: build the generic pre-state instance, evaluate the
+// containers on it, and discharge the implication.
+func ruleContainedAfterUpdate(r faurelog.Rule, u rewrite.Update, combined *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema, mapSpan obs.Span, o obs.Observer) (bool, error) {
+	obsOn := o != nil && o.Enabled()
+	fr := NewFreezer(doms, schema)
+	db, assumption, err := fr.canonicalDBAfterUpdate(r, base, u)
+	if err != nil {
+		return false, err
+	}
+	res, err := faurelog.Eval(combined, db, faurelog.Options{Observer: o})
+	if err != nil {
+		return false, err
+	}
+	var panics []*cond.Formula
+	if tbl := res.DB.Table(PanicPred); tbl != nil {
+		for _, tp := range tbl.Tuples {
+			panics = append(panics, tp.Condition())
+		}
+	}
+	s := solver.New(db.Doms)
+	if obsOn {
+		s.SetObserver(o)
+		mapSpan.SetAttrs(obs.Int("panic_tuples", int64(len(panics))))
+	}
+	sat, err := s.Satisfiable(assumption)
+	if err != nil {
+		return false, err
+	}
+	if !sat {
+		// The post-update violation scenario is unrealisable: vacuously
+		// contained.
+		return true, nil
+	}
+	contained, err := s.Implies(assumption, cond.Or(panics...))
+	if obsOn && err == nil {
+		mapSpan.SetAttrs(obs.Bool("contained", contained))
+	}
+	return contained, err
 }
 
 // diffChange builds "row differs from the change tuple somewhere".

@@ -7,6 +7,7 @@ import (
 
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/obs"
 	"faure/internal/relstore"
 	"faure/internal/solver"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// of its first derivation, enabling Result.Explain. Costs memory
 	// proportional to the number of derived tuples.
 	Trace bool
+	// Observer receives the evaluation's spans (eval → iteration →
+	// rule), per-rule derivation counts, and the SQL-vs-solver time
+	// split. Nil disables observation: the hot paths then pay a single
+	// flag check per site and never read the clock for spans.
+	Observer obs.Observer
 }
 
 func (o Options) maxIters() int {
@@ -49,6 +55,12 @@ func (o Options) maxIters() int {
 // Table 4 breakdown: SQLTime is the relational phase (joins, condition
 // construction, dedup), SolverTime is the condition-solving phase (the
 // paper's Z3 column).
+//
+// Stats is a compatibility view over the measurements that also feed
+// Options.Observer: SQLTime is the run's wall clock — covering every
+// phase, the deferred final prune included — minus the total solver
+// time, both read once at the very end of the run, so no solver work
+// from a later phase can leak into the relational column.
 type Stats struct {
 	SQLTime    time.Duration
 	SolverTime time.Duration
@@ -132,6 +144,10 @@ type engine struct {
 	arity        map[string]int
 	stats        Stats
 	trace        map[string]Derivation
+	// o receives spans and metrics; obsOn gates every instrumentation
+	// site so a disabled run pays one branch and no clock reads.
+	o     obs.Observer
+	obsOn bool
 }
 
 func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error) {
@@ -147,9 +163,14 @@ func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error
 		seen:  map[string]map[[2]uint64]struct{}{},
 		conds: map[string]map[string][]*cond.Formula{},
 		arity: map[string]int{},
+		o:     obs.OrNop(opts.Observer),
+		obsOn: opts.Observer != nil && opts.Observer.Enabled(),
 	}
 	if opts.NoSolverCache {
 		e.sol.SetCacheLimit(0)
+	}
+	if e.obsOn {
+		e.sol.SetObserver(opts.Observer)
 	}
 	if opts.Trace {
 		e.trace = map[string]Derivation{}
@@ -192,6 +213,36 @@ func (e *engine) timedImplies(f, g *cond.Formula) (bool, error) {
 }
 
 func (e *engine) run() error {
+	start := time.Now()
+	var evalSpan obs.Span
+	if e.obsOn {
+		evalSpan = e.o.StartSpan("eval", obs.Int("rules", int64(len(e.prog.Rules))))
+	}
+	err := e.runStrata(evalSpan)
+	if err == nil && e.opts.NoEagerPrune {
+		var sp obs.Span
+		if e.obsOn {
+			sp = evalSpan.StartChild("final-prune")
+		}
+		err = e.finalPrune()
+		if e.obsOn {
+			sp.End()
+		}
+	}
+	// The wall clock of the whole run minus the time spent in the
+	// solver is the relational ("sql") phase. Both are read once, after
+	// every phase (the deferred final prune included), so solver time
+	// from later phases cannot leak into the relational column.
+	e.stats.SQLTime = time.Since(start) - e.stats.SolverTime
+	if e.obsOn {
+		e.reportTotals(evalSpan)
+		evalSpan.End()
+	}
+	return err
+}
+
+// runStrata evaluates each stratum to fixpoint, in dependency order.
+func (e *engine) runStrata(evalSpan obs.Span) error {
 	strata, err := Stratify(e.prog)
 	if err != nil {
 		return err
@@ -200,8 +251,7 @@ func (e *engine) run() error {
 	for pred := range idb {
 		e.derivedOrder = append(e.derivedOrder, pred)
 	}
-	sqlStart := time.Now()
-	for _, preds := range strata {
+	for si, preds := range strata {
 		inStratum := map[string]bool{}
 		for _, pr := range preds {
 			inStratum[pr] = true
@@ -212,26 +262,36 @@ func (e *engine) run() error {
 				rules = append(rules, r)
 			}
 		}
-		if err := e.evalStratum(rules, inStratum); err != nil {
-			return err
-		}
-	}
-	// The wall clock of the whole run minus the time spent in the
-	// solver is the relational ("sql") phase.
-	e.stats.SQLTime = time.Since(sqlStart) - e.stats.SolverTime
-	if e.opts.NoEagerPrune {
-		if err := e.finalPrune(); err != nil {
+		if err := e.evalStratum(rules, inStratum, evalSpan, si); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// reportTotals publishes the run's aggregate counters and the phase
+// time split to the observer and onto the eval span.
+func (e *engine) reportTotals(evalSpan obs.Span) {
+	e.o.ObserveDuration("eval.sql_time", e.stats.SQLTime)
+	e.o.ObserveDuration("eval.solver_time", e.stats.SolverTime)
+	e.o.Count("eval.derived", int64(e.stats.Derived))
+	e.o.Count("eval.pruned", int64(e.stats.Pruned))
+	e.o.Count("eval.absorbed", int64(e.stats.Absorbed))
+	e.o.Count("eval.iterations", int64(e.stats.Iterations))
+	e.o.Count("eval.sat_calls", int64(e.stats.SatCalls))
+	evalSpan.SetAttrs(
+		obs.Int("derived", int64(e.stats.Derived)),
+		obs.Int("pruned", int64(e.stats.Pruned)),
+		obs.Int("absorbed", int64(e.stats.Absorbed)),
+		obs.Int("iterations", int64(e.stats.Iterations)),
+	)
+}
+
 // delta is the per-round set of newly derived tuples for the recursive
 // predicates of a stratum.
 type delta map[string][]ctable.Tuple
 
-func (e *engine) evalStratum(rules []Rule, recursive map[string]bool) error {
+func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan obs.Span, stratum int) error {
 	for _, r := range rules {
 		e.store.Ensure(r.Head.Pred, len(r.Head.Args))
 	}
@@ -240,15 +300,27 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool) error {
 		cur[pred] = append(cur[pred], tp)
 	}
 	// Round zero: evaluate every rule in full.
+	var itSpan obs.Span
+	if e.obsOn {
+		itSpan = evalSpan.StartChild("iteration",
+			obs.Int("stratum", int64(stratum)), obs.Int("round", 0))
+	}
 	for _, r := range rules {
-		if err := e.deriveRule(r, -1, nil, sink); err != nil {
+		if err := e.deriveRuleObserved(r, -1, nil, sink, itSpan); err != nil {
 			return err
 		}
+	}
+	if e.obsOn {
+		itSpan.End()
 	}
 	for iter := 0; len(cur) > 0; iter++ {
 		e.stats.Iterations++
 		if iter >= e.opts.maxIters() {
 			return fmt.Errorf("faurelog: fixpoint did not converge within %d iterations", e.opts.maxIters())
+		}
+		if e.obsOn {
+			itSpan = evalSpan.StartChild("iteration",
+				obs.Int("stratum", int64(stratum)), obs.Int("round", int64(iter+1)))
 		}
 		prev := cur
 		cur = delta{}
@@ -261,13 +333,33 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool) error {
 				if len(d) == 0 {
 					continue
 				}
-				if err := e.deriveRule(r, i, d, sink); err != nil {
+				if err := e.deriveRuleObserved(r, i, d, sink, itSpan); err != nil {
 					return err
 				}
 			}
 		}
+		if e.obsOn {
+			itSpan.End()
+		}
 	}
 	return nil
+}
+
+// deriveRuleObserved wraps deriveRule in a "rule" span recording the
+// head predicate and how many tuples the application derived. With
+// observation off it is a tail call into deriveRule.
+func (e *engine) deriveRuleObserved(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple), itSpan obs.Span) error {
+	if !e.obsOn {
+		return e.deriveRule(r, deltaIdx, deltaTuples, sink)
+	}
+	sp := itSpan.StartChild("rule", obs.String("head", r.Head.Pred))
+	before := e.stats.Derived
+	err := e.deriveRule(r, deltaIdx, deltaTuples, sink)
+	derived := int64(e.stats.Derived - before)
+	sp.SetAttrs(obs.Int("derived", derived))
+	sp.End()
+	e.o.Count("eval.rule_derived."+r.Head.Pred, derived)
+	return err
 }
 
 // deriveRule joins the rule body — with the deltaIdx-th literal

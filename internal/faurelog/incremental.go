@@ -7,6 +7,7 @@ import (
 
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/obs"
 )
 
 // EvalIncrement extends a previous evaluation with newly inserted EDB
@@ -112,12 +113,18 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	for pred := range idb {
 		e.derivedOrder = append(e.derivedOrder, pred)
 	}
-	sqlStart := time.Now()
+	start := time.Now()
+	var evalSpan obs.Span
+	if e.obsOn {
+		evalSpan = e.o.StartSpan("eval",
+			obs.Int("rules", int64(len(prog.Rules))), obs.Bool("incremental", true))
+	}
 	// Propagate through the strata in order; each stratum consumes the
 	// deltas accumulated so far (its own head deltas feed later
 	// strata).
 	pending := seedDelta
-	for _, preds := range strata {
+	var runErr error
+	for si, preds := range strata {
 		inStratum := map[string]bool{}
 		for _, pr := range preds {
 			inStratum[pr] = true
@@ -128,19 +135,35 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 				rules = append(rules, r)
 			}
 		}
-		newHere, err := e.propagate(rules, pending)
+		newHere, err := e.propagate(rules, pending, evalSpan, si)
 		if err != nil {
-			return nil, err
+			runErr = err
+			break
 		}
 		for pred, tuples := range newHere {
 			pending[pred] = append(pending[pred], tuples...)
 		}
 	}
-	e.stats.SQLTime = time.Since(sqlStart) - e.stats.SolverTime
-	if e.opts.NoEagerPrune {
-		if err := e.finalPrune(); err != nil {
-			return nil, err
+	if runErr == nil && e.opts.NoEagerPrune {
+		var sp obs.Span
+		if e.obsOn {
+			sp = evalSpan.StartChild("final-prune")
 		}
+		runErr = e.finalPrune()
+		if e.obsOn {
+			sp.End()
+		}
+	}
+	// As in run(): wall clock and total solver time are both read once,
+	// after every phase, so the split cannot misattribute late solver
+	// work (the deferred prune) to the relational column.
+	e.stats.SQLTime = time.Since(start) - e.stats.SolverTime
+	if e.obsOn {
+		e.reportTotals(evalSpan)
+		evalSpan.End()
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	return e.result()
 }
@@ -149,7 +172,7 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 // from the given deltas (over any predicate, not just the recursive
 // ones) and returning the tuples newly derived for this stratum's
 // heads.
-func (e *engine) propagate(rules []Rule, seed delta) (delta, error) {
+func (e *engine) propagate(rules []Rule, seed delta, evalSpan obs.Span, stratum int) (delta, error) {
 	for _, r := range rules {
 		e.store.Ensure(r.Head.Pred, len(r.Head.Args))
 	}
@@ -159,6 +182,11 @@ func (e *engine) propagate(rules []Rule, seed delta) (delta, error) {
 		e.stats.Iterations++
 		if iter >= e.opts.maxIters() {
 			return nil, fmt.Errorf("faurelog: incremental fixpoint did not converge within %d iterations", e.opts.maxIters())
+		}
+		var itSpan obs.Span
+		if e.obsOn {
+			itSpan = evalSpan.StartChild("iteration",
+				obs.Int("stratum", int64(stratum)), obs.Int("round", int64(iter)))
 		}
 		next := delta{}
 		sink := func(pred string, tp ctable.Tuple) {
@@ -173,10 +201,16 @@ func (e *engine) propagate(rules []Rule, seed delta) (delta, error) {
 					continue
 				}
 				fired = true
-				if err := e.deriveRule(r, i, d, sink); err != nil {
+				if err := e.deriveRuleObserved(r, i, d, sink, itSpan); err != nil {
+					if e.obsOn {
+						itSpan.End()
+					}
 					return nil, err
 				}
 			}
+		}
+		if e.obsOn {
+			itSpan.End()
 		}
 		if !fired || len(next) == 0 {
 			return produced, nil

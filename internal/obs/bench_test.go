@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkNopObserver quantifies the disabled-path cost the analysis
+// layers pay per instrumentation site: it must stay allocation-free.
+func BenchmarkNopObserver(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Nop.Count("c", 1)
+		Nop.ObserveDuration("d", time.Microsecond)
+		sp := Nop.StartSpan("s")
+		sp.End()
+	}
+}
+
+// BenchmarkRegistryCount is the enabled-path counter cost (one mutex
+// round trip).
+func BenchmarkRegistryCount(b *testing.B) {
+	r := NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Count("c", 1)
+	}
+}
+
+// BenchmarkRegistryObserve is the enabled-path distribution cost.
+func BenchmarkRegistryObserve(b *testing.B) {
+	r := NewRegistry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe("v", float64(i))
+	}
+}
+
+// BenchmarkRegistrySpan is the enabled-path span cost (two clock
+// reads, two mutex round trips).
+func BenchmarkRegistrySpan(b *testing.B) {
+	r := NewRegistry()
+	r.SetMaxSpans(1 << 30)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := r.StartSpan("s")
+		sp.End()
+	}
+	b.StopTimer()
+	// Reset the tree so repeated runs do not retain b.N nodes.
+	r.roots = nil
+}

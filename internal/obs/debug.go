@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugServer serves the observability endpoints of one process:
+//
+//	/metrics            registry snapshot as JSON
+//	/metrics?format=text  the same, human-readable
+//	/debug/vars         expvar (memstats, cmdline)
+//	/debug/pprof/...    the standard pprof handlers
+//
+// It is started by the -debug-addr flag of the faure commands.
+type DebugServer struct {
+	srv  *http.Server
+	addr net.Addr
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr.String() }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts the debug endpoint on addr in a background
+// goroutine. reg may be nil, in which case /metrics reports an empty
+// snapshot. The caller owns the returned server and should Close it.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(snap.Text()))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(snap.JSON()))
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &DebugServer{srv: srv, addr: ln.Addr()}, nil
+}

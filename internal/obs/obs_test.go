@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAttrConstructors(t *testing.T) {
+	if a := String("k", "v"); a.Key != "k" || a.Value != "v" {
+		t.Errorf("String: %+v", a)
+	}
+	if a := Int("n", -42); a.Value != "-42" {
+		t.Errorf("Int: %+v", a)
+	}
+	if a := Bool("b", true); a.Value != "true" {
+		t.Errorf("Bool true: %+v", a)
+	}
+	if a := Bool("b", false); a.Value != "false" {
+		t.Errorf("Bool false: %+v", a)
+	}
+}
+
+func TestNopObserver(t *testing.T) {
+	if Nop.Enabled() {
+		t.Error("Nop must report disabled")
+	}
+	sp := Nop.StartSpan("x", String("a", "b"))
+	sp.SetAttrs(Int("n", 1))
+	child := sp.StartChild("y")
+	child.End()
+	sp.End()
+	Nop.Count("c", 1)
+	Nop.SetGauge("g", 1)
+	Nop.ObserveDuration("d", time.Second)
+	Nop.Observe("v", 1)
+	if OrNop(nil) != Nop {
+		t.Error("OrNop(nil) should be Nop")
+	}
+	r := NewRegistry()
+	if OrNop(r) != Observer(r) {
+		t.Error("OrNop(r) should be r")
+	}
+}
+
+func TestRegistryCountersGauges(t *testing.T) {
+	r := NewRegistry()
+	if !r.Enabled() {
+		t.Fatal("registry must be enabled")
+	}
+	r.Count("a", 1)
+	r.Count("a", 2)
+	r.SetGauge("g", 1.5)
+	r.SetGauge("g", 2.5)
+	snap := r.Snapshot()
+	if snap.Counters["a"] != 3 {
+		t.Errorf("counter a = %d, want 3", snap.Counters["a"])
+	}
+	if snap.Gauges["g"] != 2.5 {
+		t.Errorf("gauge g = %g, want 2.5", snap.Gauges["g"])
+	}
+}
+
+func TestRegistryDistributionPercentiles(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 100; i++ {
+		r.Observe("size", float64(i))
+	}
+	d := r.Snapshot().Values["size"]
+	if d.Count != 100 || d.Min != 1 || d.Max != 100 {
+		t.Fatalf("summary: %+v", d)
+	}
+	if d.P50 < 40 || d.P50 > 60 {
+		t.Errorf("p50 = %g, want ≈50", d.P50)
+	}
+	if d.P95 < 90 || d.P95 > 100 {
+		t.Errorf("p95 = %g, want ≈95", d.P95)
+	}
+	if d.P99 < 95 || d.P99 > 100 {
+		t.Errorf("p99 = %g, want ≈99", d.P99)
+	}
+}
+
+func TestRegistryReservoirCap(t *testing.T) {
+	r := NewRegistry()
+	n := maxSamples * 4
+	for i := 0; i < n; i++ {
+		r.ObserveDuration("lat", time.Duration(i)*time.Microsecond)
+	}
+	d := r.Snapshot().DurationsMS["lat"]
+	if d.Count != int64(n) {
+		t.Errorf("count = %d, want %d", d.Count, n)
+	}
+	// Exact aggregates survive the sampling.
+	if wantMax := float64(n-1) / 1000; d.Max < wantMax*0.999 || d.Max > wantMax*1.001 {
+		t.Errorf("max = %g, want ≈%g", d.Max, wantMax)
+	}
+	// The median of 0..n-1 µs is ≈ n/2 µs; allow generous sampling slack.
+	mid := float64(n) / 2 / 1000
+	if d.P50 < mid/2 || d.P50 > mid*1.5 {
+		t.Errorf("p50 = %gms, want ≈%gms", d.P50, mid)
+	}
+}
+
+func TestSpanTree(t *testing.T) {
+	r := NewRegistry()
+	root := r.StartSpan("eval", Int("rules", 2))
+	it := root.StartChild("iteration", Int("round", 0))
+	rule := it.StartChild("rule", String("head", "reach"))
+	rule.End()
+	it.End()
+	root.SetAttrs(String("outcome", "ok"))
+	root.End()
+	snap := r.Snapshot()
+	if len(snap.Spans) != 1 {
+		t.Fatalf("roots = %d, want 1", len(snap.Spans))
+	}
+	ev := snap.Spans[0]
+	if ev.Name != "eval" || len(ev.Children) != 1 {
+		t.Fatalf("root: %+v", ev)
+	}
+	if ev.Children[0].Name != "iteration" || len(ev.Children[0].Children) != 1 {
+		t.Fatalf("iteration: %+v", ev.Children[0])
+	}
+	if ev.Children[0].Children[0].Name != "rule" {
+		t.Fatalf("rule: %+v", ev.Children[0].Children[0])
+	}
+	var found bool
+	for _, a := range ev.Attrs {
+		if a.Key == "outcome" && a.Value == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("late attr missing: %+v", ev.Attrs)
+	}
+	txt := snap.Text()
+	for _, want := range []string{"eval", "iteration", "rule", "head=reach"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Text() missing %q:\n%s", want, txt)
+		}
+	}
+}
+
+func TestSpanCap(t *testing.T) {
+	r := NewRegistry()
+	r.SetMaxSpans(2)
+	a := r.StartSpan("a")
+	b := a.StartChild("b")
+	c := a.StartChild("c") // over cap: dropped
+	c.End()
+	b.End()
+	a.End()
+	snap := r.Snapshot()
+	if snap.DroppedSpans != 1 {
+		t.Errorf("dropped = %d, want 1", snap.DroppedSpans)
+	}
+	if len(snap.Spans) != 1 || len(snap.Spans[0].Children) != 1 {
+		t.Errorf("tree: %+v", snap.Spans)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Count("c", 7)
+	r.Observe("v", 3)
+	sp := r.StartSpan("s")
+	sp.End()
+	var back Snapshot
+	if err := json.Unmarshal([]byte(r.Snapshot().JSON()), &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back.Counters["c"] != 7 || back.Values["v"].Count != 1 || len(back.Spans) != 1 {
+		t.Errorf("round trip: %+v", back)
+	}
+}
+
+// TestRegistryConcurrent exercises every instrument from many
+// goroutines; run with -race this validates the registry's safety
+// claim.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Count("c", 1)
+				r.SetGauge("g", float64(i))
+				r.ObserveDuration("d", time.Microsecond)
+				r.Observe("v", float64(i))
+				sp := r.StartSpan("s", Int("g", int64(g)))
+				ch := sp.StartChild("child")
+				ch.End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 4000 {
+		t.Errorf("counter = %d, want 4000", snap.Counters["c"])
+	}
+	if snap.DurationsMS["d"].Count != 4000 {
+		t.Errorf("durations = %d, want 4000", snap.DurationsMS["d"].Count)
+	}
+	if got := int64(len(snap.Spans)) + snap.DroppedSpans/2; got < 2000 {
+		t.Errorf("spans %d + dropped %d inconsistent", len(snap.Spans), snap.DroppedSpans)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Count("hits", 3)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, `"hits": 3`) {
+		t.Errorf("/metrics: %s", body)
+	}
+	if body := get("/metrics?format=text"); !strings.Contains(body, "hits") {
+		t.Errorf("/metrics text: %s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars: %s", body[:min(len(body), 120)])
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: %s", body[:min(len(body), 120)])
+	}
+}

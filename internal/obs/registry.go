@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Registry is the recording Observer: concurrency-safe counters,
+// gauges, reservoir-sampled distributions, and a bounded span tree.
+// The zero value is not usable; construct with NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	start    time.Time
+	counters map[string]int64
+	gauges   map[string]float64
+	durs     map[string]*sample
+	vals     map[string]*sample
+	roots    []*spanNode
+	nSpans   int
+	maxSpans int
+	dropped  int64
+}
+
+// maxSamples bounds each distribution's reservoir; percentiles beyond
+// that many observations are computed over a uniform subsample.
+const maxSamples = 4096
+
+// defaultMaxSpans bounds the retained span tree; spans beyond the cap
+// are dropped (counted in Snapshot.DroppedSpans) rather than growing
+// memory without bound on long evaluations.
+const defaultMaxSpans = 16384
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		start:    time.Now(),
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		durs:     map[string]*sample{},
+		vals:     map[string]*sample{},
+		maxSpans: defaultMaxSpans,
+	}
+}
+
+// SetMaxSpans bounds the retained span tree (0 disables span
+// recording entirely; metrics are still collected).
+func (r *Registry) SetMaxSpans(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxSpans = n
+}
+
+// Enabled reports true: the registry records everything it is sent.
+func (r *Registry) Enabled() bool { return true }
+
+// Count adds delta to the named counter.
+func (r *Registry) Count(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge records the gauge's current value.
+func (r *Registry) SetGauge(name string, value float64) {
+	r.mu.Lock()
+	r.gauges[name] = value
+	r.mu.Unlock()
+}
+
+// ObserveDuration adds one latency sample (stored in seconds).
+func (r *Registry) ObserveDuration(name string, d time.Duration) {
+	r.mu.Lock()
+	s := r.durs[name]
+	if s == nil {
+		s = &sample{}
+		r.durs[name] = s
+	}
+	s.add(d.Seconds())
+	r.mu.Unlock()
+}
+
+// Observe adds one value sample.
+func (r *Registry) Observe(name string, value float64) {
+	r.mu.Lock()
+	s := r.vals[name]
+	if s == nil {
+		s = &sample{}
+		r.vals[name] = s
+	}
+	s.add(value)
+	r.mu.Unlock()
+}
+
+// StartSpan opens a root span.
+func (r *Registry) StartSpan(name string, attrs ...Attr) Span {
+	return r.newSpan(nil, name, attrs)
+}
+
+func (r *Registry) newSpan(parent *spanNode, name string, attrs []Attr) Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nSpans >= r.maxSpans {
+		r.dropped++
+		return nopSpan{}
+	}
+	r.nSpans++
+	n := &spanNode{reg: r, name: name, attrs: attrs, start: time.Now()}
+	if parent != nil {
+		parent.children = append(parent.children, n)
+	} else {
+		r.roots = append(r.roots, n)
+	}
+	return n
+}
+
+// spanNode is the recorded form of a span.
+type spanNode struct {
+	reg      *Registry
+	name     string
+	attrs    []Attr
+	start    time.Time
+	duration time.Duration
+	children []*spanNode
+	ended    bool
+}
+
+func (n *spanNode) StartChild(name string, attrs ...Attr) Span {
+	return n.reg.newSpan(n, name, attrs)
+}
+
+func (n *spanNode) SetAttrs(attrs ...Attr) {
+	n.reg.mu.Lock()
+	n.attrs = append(n.attrs, attrs...)
+	n.reg.mu.Unlock()
+}
+
+func (n *spanNode) End() {
+	n.reg.mu.Lock()
+	if !n.ended {
+		n.ended = true
+		n.duration = time.Since(n.start)
+	}
+	n.reg.mu.Unlock()
+}
+
+// sample is a streaming distribution: exact count/sum/min/max plus a
+// uniform reservoir for percentile estimation.
+type sample struct {
+	count    int64
+	sum      float64
+	min, max float64
+	values   []float64
+	rng      uint64
+}
+
+func (s *sample) add(v float64) {
+	if s.count == 0 || v < s.min {
+		s.min = v
+	}
+	if s.count == 0 || v > s.max {
+		s.max = v
+	}
+	s.count++
+	s.sum += v
+	if len(s.values) < maxSamples {
+		s.values = append(s.values, v)
+		return
+	}
+	// Algorithm R: replace a uniformly random slot with probability
+	// maxSamples/count, using a cheap xorshift generator.
+	if s.rng == 0 {
+		s.rng = 0x9e3779b97f4a7c15
+	}
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	if idx := s.rng % uint64(s.count); idx < maxSamples {
+		s.values[idx] = v
+	}
+}
+
+// quantile returns the p-quantile (0 ≤ p ≤ 1) of the sorted values.
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// DistSummary summarises one distribution. Durations are reported in
+// milliseconds, plain values in their native unit.
+type DistSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+func (s *sample) summary(scale float64) DistSummary {
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	return DistSummary{
+		Count: s.count,
+		Sum:   s.sum * scale,
+		Min:   s.min * scale,
+		Max:   s.max * scale,
+		P50:   quantile(sorted, 0.50) * scale,
+		P95:   quantile(sorted, 0.95) * scale,
+		P99:   quantile(sorted, 0.99) * scale,
+	}
+}
+
+// SpanSnapshot is the exported form of one recorded span.
+type SpanSnapshot struct {
+	Name       string          `json:"name"`
+	DurationMS float64         `json:"duration_ms"`
+	Attrs      []Attr          `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of everything the registry holds.
+type Snapshot struct {
+	UptimeMS     float64                `json:"uptime_ms"`
+	Counters     map[string]int64       `json:"counters,omitempty"`
+	Gauges       map[string]float64     `json:"gauges,omitempty"`
+	DurationsMS  map[string]DistSummary `json:"durations_ms,omitempty"`
+	Values       map[string]DistSummary `json:"values,omitempty"`
+	Spans        []*SpanSnapshot        `json:"spans,omitempty"`
+	DroppedSpans int64                  `json:"dropped_spans,omitempty"`
+}
+
+// Snapshot copies the registry's state. Unfinished spans report the
+// duration accumulated so far.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		UptimeMS:     float64(time.Since(r.start)) / float64(time.Millisecond),
+		Counters:     map[string]int64{},
+		Gauges:       map[string]float64{},
+		DurationsMS:  map[string]DistSummary{},
+		Values:       map[string]DistSummary{},
+		DroppedSpans: r.dropped,
+	}
+	for k, v := range r.counters {
+		snap.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		snap.Gauges[k] = v
+	}
+	for k, s := range r.durs {
+		snap.DurationsMS[k] = s.summary(1000) // seconds → ms
+	}
+	for k, s := range r.vals {
+		snap.Values[k] = s.summary(1)
+	}
+	for _, n := range r.roots {
+		snap.Spans = append(snap.Spans, n.snapshot())
+	}
+	return snap
+}
+
+func (n *spanNode) snapshot() *SpanSnapshot {
+	d := n.duration
+	if !n.ended {
+		d = time.Since(n.start)
+	}
+	out := &SpanSnapshot{
+		Name:       n.name,
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Attrs:      append([]Attr(nil), n.attrs...),
+	}
+	for _, c := range n.children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// JSON renders the snapshot as indented JSON.
+func (s Snapshot) JSON() string {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Sprintf("{%q: %q}", "error", err.Error())
+	}
+	return string(b)
+}
+
+// Text renders the snapshot in a compact human-readable layout:
+// counters and gauges sorted by name, distributions with percentiles,
+// and the span tree indented.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	if len(s.Counters) > 0 {
+		b.WriteString("counters:\n")
+		for _, k := range sortedKeys(s.Counters) {
+			fmt.Fprintf(&b, "  %-40s %d\n", k, s.Counters[k])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		b.WriteString("gauges:\n")
+		for _, k := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(&b, "  %-40s %g\n", k, s.Gauges[k])
+		}
+	}
+	if len(s.DurationsMS) > 0 {
+		b.WriteString("durations (ms):\n")
+		for _, k := range sortedKeys(s.DurationsMS) {
+			d := s.DurationsMS[k]
+			fmt.Fprintf(&b, "  %-40s n=%d sum=%.3f p50=%.4f p95=%.4f p99=%.4f\n",
+				k, d.Count, d.Sum, d.P50, d.P95, d.P99)
+		}
+	}
+	if len(s.Values) > 0 {
+		b.WriteString("values:\n")
+		for _, k := range sortedKeys(s.Values) {
+			d := s.Values[k]
+			fmt.Fprintf(&b, "  %-40s n=%d sum=%g min=%g max=%g p50=%g p95=%g p99=%g\n",
+				k, d.Count, d.Sum, d.Min, d.Max, d.P50, d.P95, d.P99)
+		}
+	}
+	if len(s.Spans) > 0 {
+		b.WriteString("spans:\n")
+		for _, sp := range s.Spans {
+			sp.render(&b, 1)
+		}
+	}
+	if s.DroppedSpans > 0 {
+		fmt.Fprintf(&b, "dropped spans: %d\n", s.DroppedSpans)
+	}
+	return b.String()
+}
+
+func (sp *SpanSnapshot) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s %.3fms", sp.Name, sp.DurationMS)
+	for _, a := range sp.Attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, c := range sp.Children {
+		c.render(b, depth+1)
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

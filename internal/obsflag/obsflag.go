@@ -1,0 +1,82 @@
+// Package obsflag binds the observability command-line flags shared by
+// the faure CLIs: -metrics selects a report format (text or json,
+// written to stderr on exit) and -debug-addr serves the live
+// pprof/expvar/metrics endpoint while the command runs.
+package obsflag
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"faure/internal/obs"
+)
+
+// Flags holds the parsed observability flags and their runtime state.
+type Flags struct {
+	metrics   *string
+	debugAddr *string
+	reg       *obs.Registry
+	srv       *obs.DebugServer
+}
+
+// Register binds -metrics and -debug-addr on the flag set.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	f.metrics = fs.String("metrics", "", "print collected metrics on exit: text or json")
+	f.debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	return f
+}
+
+// Init validates the flags and, when observation is requested, creates
+// the registry and starts the debug endpoint. Call after flag parsing.
+func (f *Flags) Init() error {
+	switch *f.metrics {
+	case "", "text", "json":
+	default:
+		return fmt.Errorf("unknown -metrics format %q (text or json)", *f.metrics)
+	}
+	if *f.metrics != "" || *f.debugAddr != "" {
+		f.reg = obs.NewRegistry()
+	}
+	if *f.debugAddr != "" {
+		srv, err := obs.ServeDebug(*f.debugAddr, f.reg)
+		if err != nil {
+			return err
+		}
+		f.srv = srv
+	}
+	return nil
+}
+
+// Observer returns the recording observer, or nil when no
+// observability flag was given (so the hot paths stay un-instrumented).
+func (f *Flags) Observer() obs.Observer {
+	if f.reg == nil {
+		return nil
+	}
+	return f.reg
+}
+
+// Registry exposes the underlying registry (nil when disabled).
+func (f *Flags) Registry() *obs.Registry { return f.reg }
+
+// Close writes the metrics report to w in the selected format and
+// shuts the debug endpoint down.
+func (f *Flags) Close(w io.Writer) error {
+	if f.srv != nil {
+		_ = f.srv.Close()
+	}
+	if f.reg == nil || *f.metrics == "" {
+		return nil
+	}
+	snap := f.reg.Snapshot()
+	var out string
+	if *f.metrics == "json" {
+		out = snap.JSON() + "\n"
+	} else {
+		out = snap.Text()
+	}
+	_, err := io.WriteString(w, out)
+	return err
+}

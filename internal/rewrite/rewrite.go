@@ -15,6 +15,7 @@ import (
 	"faure/internal/cond"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/obs"
 )
 
 // Change inserts or deletes one tuple of a base relation. Values are
@@ -175,6 +176,24 @@ func Apply(db *ctable.Database, u Update) (*ctable.Database, error) {
 // constraint's rules (q24). Evaluating C' on the pre-update state is
 // equivalent to evaluating C on the post-update state.
 func RewriteConstraint(c *faurelog.Program, u Update) (*faurelog.Program, error) {
+	return RewriteConstraintObserved(c, u, nil)
+}
+
+// RewriteConstraintObserved is RewriteConstraint with observability: o
+// (nil disables) receives a "rewrite.constraint" span plus the
+// insert/delete counts and the per-relation chain-length distribution
+// (1 copy stage + one filter stage per deleted tuple).
+func RewriteConstraintObserved(c *faurelog.Program, u Update, o obs.Observer) (*faurelog.Program, error) {
+	obsOn := o != nil && o.Enabled()
+	ob := obs.OrNop(o)
+	var span obs.Span
+	if obsOn {
+		span = ob.StartSpan("rewrite.constraint",
+			obs.Int("inserts", int64(len(u.Inserts))), obs.Int("deletes", int64(len(u.Deletes))))
+		defer span.End()
+		ob.Observe("rewrite.inserts", float64(len(u.Inserts)))
+		ob.Observe("rewrite.deletes", float64(len(u.Deletes)))
+	}
 	touched := u.Touched()
 	idb := c.IDB()
 	for pred := range touched {
@@ -253,6 +272,11 @@ func RewriteConstraint(c *faurelog.Program, u Update) (*faurelog.Program, error)
 			cur = next
 		}
 		final[pred] = cur
+		// Chain length for this relation: the copy stage plus one
+		// filter stage per deleted tuple.
+		if obsOn {
+			ob.Observe("rewrite.chain_len", float64(1+len(u.DeletesFor(pred))))
+		}
 	}
 	// Substitute the chain heads into the constraint.
 	for _, r := range c.Rules {
@@ -267,6 +291,9 @@ func RewriteConstraint(c *faurelog.Program, u Update) (*faurelog.Program, error)
 	}
 	if err := out.Validate(); err != nil {
 		return nil, err
+	}
+	if obsOn {
+		span.SetAttrs(obs.Int("rules_out", int64(len(out.Rules))))
 	}
 	return out, nil
 }

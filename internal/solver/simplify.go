@@ -12,6 +12,22 @@ import (
 // bottom-up. The result is always solver-equivalent to the input; it
 // is a display/compaction aid and never required for correctness.
 func Simplify(s *Solver, f *cond.Formula) (*cond.Formula, error) {
+	out, err := s.simplify(f)
+	if err != nil {
+		return nil, err
+	}
+	// Hit rate: how often simplification actually shrinks a condition
+	// (compared by canonical key, so a no-op rewrite does not count).
+	if s.obsOn {
+		s.o.Count("solver.simplify_calls", 1)
+		if out.Key() != f.Key() {
+			s.o.Count("solver.simplify_reduced", 1)
+		}
+	}
+	return out, nil
+}
+
+func (s *Solver) simplify(f *cond.Formula) (*cond.Formula, error) {
 	sat, err := s.Satisfiable(f)
 	if err != nil {
 		return nil, err
@@ -40,7 +56,7 @@ func Simplify(s *Solver, f *cond.Formula) (*cond.Formula, error) {
 		}
 		return cond.Or(kept...), nil
 	case cond.FNot:
-		inner, err := Simplify(s, f.Sub[0])
+		inner, err := s.simplify(f.Sub[0])
 		if err != nil {
 			return nil, err
 		}
@@ -57,7 +73,7 @@ func Simplify(s *Solver, f *cond.Formula) (*cond.Formula, error) {
 func (s *Solver) simplifyList(sub []*cond.Formula, isAnd bool) ([]*cond.Formula, error) {
 	members := make([]*cond.Formula, len(sub))
 	for i, m := range sub {
-		sm, err := Simplify(s, m)
+		sm, err := s.simplify(m)
 		if err != nil {
 			return nil, err
 		}

@@ -36,8 +36,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"faure/internal/cond"
+	"faure/internal/obs"
 )
 
 // Domain describes the set of values a c-variable may take. A nil or
@@ -82,6 +84,11 @@ type Solver struct {
 	// retain unbounded memory.
 	cacheLimit int
 	stats      Stats
+	// o receives per-call latency, cache hit rate, and condition-size
+	// distributions; obsOn gates every site so an unobserved solver
+	// pays one branch and no clock reads.
+	o     obs.Observer
+	obsOn bool
 }
 
 type satResult struct {
@@ -93,7 +100,15 @@ type satResult struct {
 // reference; callers may keep registering variables before use but
 // must not mutate it concurrently with solving.
 func New(doms Domains) *Solver {
-	return &Solver{doms: doms, satCache: make(map[string]satResult), cacheLimit: 1 << 20}
+	return &Solver{doms: doms, satCache: make(map[string]satResult), cacheLimit: 1 << 20, o: obs.Nop}
+}
+
+// SetObserver routes the solver's metrics — sat/implication latency,
+// cache hit rate, condition-size distribution, simplification hit rate
+// — to o. Nil restores the no-op default.
+func (s *Solver) SetObserver(o obs.Observer) {
+	s.o = obs.OrNop(o)
+	s.obsOn = o != nil && o.Enabled()
 }
 
 // SetCacheLimit bounds the memo cache; 0 disables memoisation (the
@@ -121,13 +136,27 @@ func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 	case cond.FFalse:
 		return false, nil
 	}
+	var start time.Time
+	if s.obsOn {
+		start = time.Now()
+		s.o.Count("solver.sat_calls", 1)
+		s.o.Observe("solver.condition_atoms", float64(len(f.Atoms())))
+	}
 	if r, ok := s.satCache[f.Key()]; ok {
 		s.stats.CacheHits++
+		if s.obsOn {
+			s.o.Count("solver.cache_hits", 1)
+			s.o.ObserveDuration("solver.sat_latency", time.Since(start))
+		}
 		return r.sat, r.err
 	}
 	sat, err := s.enumerate(f)
 	if len(s.satCache) < s.cacheLimit {
 		s.satCache[f.Key()] = satResult{sat, err}
+	}
+	if s.obsOn {
+		s.o.ObserveDuration("solver.sat_latency", time.Since(start))
+		s.o.SetGauge("solver.cache_size", float64(len(s.satCache)))
 	}
 	return sat, err
 }
@@ -141,7 +170,14 @@ func (s *Solver) Valid(f *cond.Formula) (bool, error) {
 // Implies reports whether every assignment satisfying f also satisfies
 // g (f ⇒ g), i.e. f ∧ ¬g is unsatisfiable.
 func (s *Solver) Implies(f, g *cond.Formula) (bool, error) {
+	if !s.obsOn {
+		sat, err := s.Satisfiable(cond.And(f, cond.Not(g)))
+		return !sat, err
+	}
+	start := time.Now()
+	s.o.Count("solver.implies_calls", 1)
 	sat, err := s.Satisfiable(cond.And(f, cond.Not(g)))
+	s.o.ObserveDuration("solver.implies_latency", time.Since(start))
 	return !sat, err
 }
 

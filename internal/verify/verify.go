@@ -23,6 +23,7 @@ import (
 	"faure/internal/containment"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/obs"
 	"faure/internal/rewrite"
 	"faure/internal/solver"
 )
@@ -76,26 +77,61 @@ type Verifier struct {
 	// Schema optionally types base-relation attributes (see
 	// containment.Schema).
 	Schema *containment.Schema
+	// Obs, when set, receives per-test spans (verify.category_i /
+	// verify.category_ii / verify.direct / verify.ladder), verdict
+	// counters (verify.verdict.<verdict>), and — for Unknown answers —
+	// the degradation reason (verify.unknown_reason.<class>). The inner
+	// containment checks, evaluations, and solvers report through it
+	// too. Nil disables observation.
+	Obs obs.Observer
+}
+
+// observer returns the effective observer and whether it is live.
+func (v *Verifier) observer() (obs.Observer, bool) {
+	return obs.OrNop(v.Obs), v.Obs != nil && v.Obs.Enabled()
+}
+
+// countVerdict records a test's verdict and, for Unknown, the reason
+// class explaining which information was missing.
+func (v *Verifier) countVerdict(test string, verdict Verdict, unknownClass string) {
+	o, on := v.observer()
+	if !on {
+		return
+	}
+	o.Count("verify.verdict."+verdict.String(), 1)
+	if verdict == Unknown && unknownClass != "" {
+		o.Count("verify.unknown_reason."+unknownClass, 1)
+	}
+	o.Count("verify."+test+".runs", 1)
 }
 
 // CategoryI runs the weakest test: only the constraint definitions are
 // visible. It answers Holds when the known constraints subsume the
 // target and Unknown otherwise.
 func (v *Verifier) CategoryI(target containment.Constraint, known []containment.Constraint) (Report, error) {
+	o, on := v.observer()
+	var span obs.Span
+	if on {
+		span = o.StartSpan("verify.category_i", obs.String("target", target.Name))
+		defer span.End()
+	}
 	target, ferr := flattenIfNeeded(target)
 	if ferr != nil {
 		// A target outside the subsumption fragment (recursive or
 		// negated intermediates) is not an error: this level simply
 		// cannot decide it.
+		v.countVerdict("category_i", Unknown, "outside-fragment")
 		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
 	}
-	res, err := containment.Subsumes(target, known, v.Doms, v.Schema)
+	res, err := containment.SubsumesObserved(target, known, v.Doms, v.Schema, v.Obs)
 	if err != nil {
 		return Report{}, err
 	}
 	if res.Contained {
+		v.countVerdict("category_i", Holds, "")
 		return Report{Verdict: Holds, Reason: fmt.Sprintf("%s is subsumed by {%s}", target.Name, names(known))}, nil
 	}
+	v.countVerdict("category_i", Unknown, "not-subsumed")
 	return Report{Verdict: Unknown, Reason: fmt.Sprintf("%s is not subsumed by {%s} (rule %s); more information needed", target.Name, names(known), res.Witness)}, nil
 }
 
@@ -103,17 +139,26 @@ func (v *Verifier) CategoryI(target containment.Constraint, known []containment.
 // answers Holds when the target, rewritten to reflect the update, is
 // subsumed by the constraints known to hold before the update.
 func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, known []containment.Constraint) (Report, error) {
+	o, on := v.observer()
+	var span obs.Span
+	if on {
+		span = o.StartSpan("verify.category_ii", obs.String("target", target.Name))
+		defer span.End()
+	}
 	target, ferr := flattenIfNeeded(target)
 	if ferr != nil {
+		v.countVerdict("category_ii", Unknown, "outside-fragment")
 		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
 	}
-	res, err := containment.SubsumesAfterUpdate(target, u, known, v.Doms, v.Schema)
+	res, err := containment.SubsumesAfterUpdateObserved(target, u, known, v.Doms, v.Schema, v.Obs)
 	if err != nil {
 		return Report{}, err
 	}
 	if res.Contained {
+		v.countVerdict("category_ii", Holds, "")
 		return Report{Verdict: Holds, Reason: fmt.Sprintf("%s rewritten under update [%s] is subsumed by {%s}", target.Name, u, names(known))}, nil
 	}
+	v.countVerdict("category_ii", Unknown, "not-subsumed")
 	return Report{Verdict: Unknown, Reason: fmt.Sprintf("%s under update [%s] is not subsumed by {%s} (rule %s)", target.Name, u, names(known), res.Witness)}, nil
 }
 
@@ -122,7 +167,13 @@ func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, k
 // derivable, Violated when panic is derivable in every world, and
 // Conditional with the violation condition otherwise.
 func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (Report, error) {
-	res, err := faurelog.Eval(target.Program, db, faurelog.Options{})
+	o, on := v.observer()
+	var span obs.Span
+	if on {
+		span = o.StartSpan("verify.direct", obs.String("target", target.Name))
+		defer span.End()
+	}
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Observer: v.Obs})
 	if err != nil {
 		return Report{}, err
 	}
@@ -133,11 +184,15 @@ func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (R
 		}
 	}
 	s := solver.New(db.Doms)
+	if on {
+		s.SetObserver(v.Obs)
+	}
 	sat, err := s.Satisfiable(violation)
 	if err != nil {
 		return Report{}, err
 	}
 	if !sat {
+		v.countVerdict("direct", Holds, "")
 		return Report{Verdict: Holds, Reason: fmt.Sprintf("%s derives no satisfiable panic", target.Name)}, nil
 	}
 	valid, err := s.Valid(violation)
@@ -145,8 +200,10 @@ func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (R
 		return Report{}, err
 	}
 	if valid {
+		v.countVerdict("direct", Violated, "")
 		return Report{Verdict: Violated, Reason: fmt.Sprintf("%s is violated in every possible world", target.Name), ViolationCond: violation}, nil
 	}
+	v.countVerdict("direct", Conditional, "")
 	return Report{
 		Verdict:       Conditional,
 		Reason:        fmt.Sprintf("%s is violated exactly when %v", target.Name, violation),
@@ -171,7 +228,7 @@ func (v *Verifier) DirectAfterUpdate(target containment.Constraint, u rewrite.Up
 // the pre-update state; by construction the verdict equals
 // DirectAfterUpdate's.
 func (v *Verifier) DirectViaRewrite(target containment.Constraint, u rewrite.Update, db *ctable.Database) (Report, error) {
-	rewritten, err := rewrite.RewriteConstraint(target.Program, u)
+	rewritten, err := rewrite.RewriteConstraintObserved(target.Program, u, v.Obs)
 	if err != nil {
 		return Report{}, err
 	}
@@ -184,12 +241,25 @@ func (v *Verifier) DirectViaRewrite(target containment.Constraint, u rewrite.Upd
 // evaluation if a state is supplied — returning the first decisive
 // report, each annotated with the level that decided it.
 func (v *Verifier) Ladder(target containment.Constraint, known []containment.Constraint, u *rewrite.Update, db *ctable.Database) (Report, string, error) {
+	o, on := v.observer()
+	var span obs.Span
+	if on {
+		span = o.StartSpan("verify.ladder", obs.String("target", target.Name))
+		defer span.End()
+	}
+	decided := func(rep Report, level string) (Report, string, error) {
+		if on {
+			o.Count("verify.ladder.decided_at."+level, 1)
+			span.SetAttrs(obs.String("level", level), obs.String("verdict", rep.Verdict.String()))
+		}
+		return rep, level, nil
+	}
 	rep, err := v.CategoryI(target, known)
 	if err != nil {
 		return Report{}, "", err
 	}
 	if rep.Verdict != Unknown {
-		return rep, "category-i", nil
+		return decided(rep, "category-i")
 	}
 	if u != nil {
 		rep, err = v.CategoryII(target, *u, known)
@@ -197,7 +267,7 @@ func (v *Verifier) Ladder(target containment.Constraint, known []containment.Con
 			return Report{}, "", err
 		}
 		if rep.Verdict != Unknown {
-			return rep, "category-ii", nil
+			return decided(rep, "category-ii")
 		}
 	}
 	if db != nil {
@@ -209,9 +279,12 @@ func (v *Verifier) Ladder(target containment.Constraint, known []containment.Con
 		if err != nil {
 			return Report{}, "", err
 		}
-		return rep, "direct", nil
+		return decided(rep, "direct")
 	}
-	return rep, "exhausted", nil
+	if on {
+		o.Count("verify.unknown_reason.exhausted", 1)
+	}
+	return decided(rep, "exhausted")
 }
 
 func names(cs []containment.Constraint) string {

@@ -1,0 +1,127 @@
+package faure_test
+
+import (
+	"testing"
+	"time"
+
+	"faure"
+)
+
+func quickstartInputs(t *testing.T) (*faure.Database, *faure.Program) {
+	t.Helper()
+	db, err := faure.ParseDatabase(`
+		var $x in {0, 1}.
+		fwd(F0, 1, 2)[$x = 1].
+		fwd(F0, 1, 3)[$x = 0].
+		fwd(F0, 2, 4).
+		fwd(F0, 3, 4).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := faure.Parse(`
+		reach(f, a, b) :- fwd(f, a, b).
+		reach(f, a, c) :- fwd(f, a, b), reach(f, b, c).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, prog
+}
+
+// TestObserverWiring runs the quick-start program under a recording
+// observer and checks the span tree and counters an evaluation is
+// documented to emit.
+func TestObserverWiring(t *testing.T) {
+	db, prog := quickstartInputs(t)
+	m := faure.NewMetrics()
+	res, err := faure.Eval(prog, db, faure.WithObserver(faure.Options{}, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+
+	// Span tree: eval → iteration → rule.
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "eval" {
+		t.Fatalf("expected a single root eval span, got %+v", snap.Spans)
+	}
+	root := snap.Spans[0]
+	if len(root.Children) == 0 {
+		t.Fatal("eval span has no iteration children")
+	}
+	sawRule := false
+	for _, it := range root.Children {
+		if it.Name != "iteration" {
+			t.Errorf("eval child %q, want iteration", it.Name)
+			continue
+		}
+		for _, r := range it.Children {
+			if r.Name != "rule" {
+				t.Errorf("iteration child %q, want rule", r.Name)
+			}
+			for _, a := range r.Attrs {
+				if a.Key == "head" && a.Value == "reach" {
+					sawRule = true
+				}
+			}
+		}
+	}
+	if !sawRule {
+		t.Error("no rule span with head=reach recorded")
+	}
+
+	// Counters must agree with the compatibility Stats view.
+	for counter, want := range map[string]int64{
+		"eval.derived":            int64(res.Stats.Derived),
+		"eval.iterations":         int64(res.Stats.Iterations),
+		"eval.sat_calls":          int64(res.Stats.SatCalls),
+		"eval.rule_derived.reach": int64(res.Stats.Derived),
+	} {
+		if got := snap.Counters[counter]; got != want || want == 0 {
+			t.Errorf("counter %s = %d, want %d (non-zero)", counter, got, want)
+		}
+	}
+	if snap.Counters["solver.sat_calls"] == 0 {
+		t.Error("solver.sat_calls not recorded")
+	}
+	if _, ok := snap.DurationsMS["eval.sql_time"]; !ok {
+		t.Error("eval.sql_time duration not recorded")
+	}
+	if _, ok := snap.DurationsMS["solver.sat_latency"]; !ok {
+		t.Error("solver.sat_latency distribution not recorded")
+	}
+}
+
+// TestObserverDisabledMatchesEnabled checks observation does not change
+// results: same derived tuples and stats counts with and without it.
+func TestObserverDisabledMatchesEnabled(t *testing.T) {
+	db, prog := quickstartInputs(t)
+	plain, err := faure.Eval(prog, db, faure.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := faure.Eval(prog, db, faure.WithObserver(faure.Options{}, faure.NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := plain.Stats, observed.Stats; a.Derived != b.Derived || a.Pruned != b.Pruned ||
+		a.Absorbed != b.Absorbed || a.Iterations != b.Iterations || a.SatCalls != b.SatCalls {
+		t.Errorf("stats differ with observer: %+v vs %+v", a, b)
+	}
+	if a, b := plain.DB.Table("reach"), observed.DB.Table("reach"); len(a.Tuples) != len(b.Tuples) {
+		t.Errorf("reach has %d tuples plain, %d observed", len(a.Tuples), len(b.Tuples))
+	}
+}
+
+// TestStatsAdd checks the accumulator used when summing per-query runs.
+func TestStatsAdd(t *testing.T) {
+	s := faure.Stats{SQLTime: time.Second, SolverTime: time.Millisecond,
+		Derived: 1, Pruned: 2, Absorbed: 3, Iterations: 4, SatCalls: 5}
+	s.Add(faure.Stats{SQLTime: time.Second, SolverTime: 2 * time.Millisecond,
+		Derived: 10, Pruned: 20, Absorbed: 30, Iterations: 40, SatCalls: 50})
+	want := faure.Stats{SQLTime: 2 * time.Second, SolverTime: 3 * time.Millisecond,
+		Derived: 11, Pruned: 22, Absorbed: 33, Iterations: 44, SatCalls: 55}
+	if s != want {
+		t.Errorf("Stats.Add = %+v, want %+v", s, want)
+	}
+}
