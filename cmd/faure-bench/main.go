@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"faure"
+	"faure/internal/obsflag"
 )
 
 func main() {
@@ -35,16 +36,24 @@ func main() {
 	ablate := flag.Bool("ablate", false, "also run the design-choice ablations at the first prefix count")
 	jsonOut := flag.Bool("json", false, "write a machine-readable report")
 	outPath := flag.String("out", "BENCH_faurelog.json", "report path for -json")
+	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
 	sizes, err := parseSizes(*prefixes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure-bench:", err)
-		os.Exit(2)
+		os.Exit(obsflag.ExitUsage)
 	}
-	if err := run(os.Stdout, sizes, *seed, *pool, *ablate, *jsonOut, *outPath); err != nil {
+	if err := ob.Init(); err != nil {
 		fmt.Fprintln(os.Stderr, "faure-bench:", err)
-		os.Exit(1)
+		os.Exit(obsflag.ExitError)
+	}
+	err = run(os.Stdout, sizes, *seed, *pool, *ablate, *jsonOut, *outPath,
+		faure.Options{Observer: ob.Observer(), Budget: ob.Budget()})
+	_ = ob.Close(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faure-bench:", err)
+		os.Exit(obsflag.ExitCode(err))
 	}
 }
 
@@ -78,25 +87,39 @@ type benchWorkload struct {
 
 // benchReport is the top-level JSON document.
 type benchReport struct {
-	Benchmark string          `json:"benchmark"`
-	Seed      int64           `json:"seed"`
-	Pool      int             `json:"pool"`
+	Benchmark string `json:"benchmark"`
+	Seed      int64  `json:"seed"`
+	Pool      int    `json:"pool"`
+	// Truncated names the budget that cut the sweep short ("" when the
+	// sweep completed); the workloads list then holds what finished.
+	Truncated string          `json:"truncated,omitempty"`
 	Workloads []benchWorkload `json:"workloads"`
 }
 
 // run executes the sweep (and optional ablations), prints the Table 4
-// layout to w, and writes the JSON report when requested.
-func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, outPath string) error {
+// layout to w, and writes the JSON report when requested. A budget trip
+// stops the sweep, keeps the completed rows (printed and reported) and
+// surfaces as the returned budget error so main exits with code 3.
+func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, outPath string, opts faure.Options) error {
 	var results []*faure.Table4Result
+	var truncated *faure.BudgetExceeded
 	for _, n := range sizes {
-		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: seed, PoolSize: pool})
+		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: seed, PoolSize: pool, Options: opts})
 		if err != nil {
 			return err
 		}
 		results = append(results, res)
+		if res.Truncated != nil {
+			truncated = res.Truncated
+			break
+		}
 	}
 	fmt.Fprintln(w, "Table 4: running time of reachability analysis (synthetic RIB workload)")
 	fmt.Fprint(w, faure.FormatTable4(results))
+	if truncated != nil {
+		fmt.Fprintf(w, "(sweep truncated: %v)\n", truncated)
+		ablate = false
+	}
 
 	if ablate {
 		fmt.Fprintln(w)
@@ -127,10 +150,16 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 
 	if jsonOut {
 		report := buildReport(results, seed, pool)
+		if truncated != nil {
+			report.Truncated = truncated.Error()
+		}
 		if err := writeReport(outPath, report); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\nwrote %s (%d workloads)\n", outPath, len(report.Workloads))
+	}
+	if truncated != nil {
+		return truncated
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"faure"
+
 	"bytes"
 	"encoding/json"
 	"os"
@@ -31,7 +33,7 @@ func TestParseSizes(t *testing.T) {
 func TestRunJSONReport(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "bench.json")
 	var buf bytes.Buffer
-	if err := run(&buf, []int{50}, 1, 10, false, true, out); err != nil {
+	if err := run(&buf, []int{50}, 1, 10, false, true, out, faure.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "Table 4") {
@@ -86,7 +88,7 @@ func TestRunJSONDeterministic(t *testing.T) {
 	read := func(path string) benchReport {
 		t.Helper()
 		var buf bytes.Buffer
-		if err := run(&buf, []int{30}, 7, 10, false, true, path); err != nil {
+		if err := run(&buf, []int{30}, 7, 10, false, true, path, faure.Options{}); err != nil {
 			t.Fatal(err)
 		}
 		raw, err := os.ReadFile(path)
@@ -121,7 +123,7 @@ func TestRunAblations(t *testing.T) {
 		t.Skip("ablations sweep in -short mode")
 	}
 	var buf bytes.Buffer
-	if err := run(&buf, []int{30}, 1, 10, true, false, ""); err != nil {
+	if err := run(&buf, []int{30}, 1, 10, true, false, "", faure.Options{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"baseline", "no-absorb", "no-eager-prune", "no-index", "no-solver-cache"} {

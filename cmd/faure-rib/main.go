@@ -37,7 +37,7 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure-rib:", err)
-		os.Exit(1)
+		os.Exit(obsflag.ExitCode(err))
 	}
 }
 
@@ -45,7 +45,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   faure-rib gen -prefixes N [-seed S] [-paths 5] [-pool 10]   write a RIB to stdout
   faure-rib info                                              summarise a RIB from stdin
-  faure-rib compile [-pool 10] [-seed S]                      compile stdin RIB to a database file`)
+  faure-rib compile [-pool 10] [-seed S]                      compile stdin RIB to a database file
+  (gen and compile accept -timeout / -max-tuples; a budget trip keeps the partial output, exit code 3)`)
 }
 
 func cmdGen(args []string) error {
@@ -62,8 +63,15 @@ func cmdGen(args []string) error {
 		return err
 	}
 	defer func() { _ = ob.Close(os.Stderr) }()
-	r := rib.Generate(rib.Config{Prefixes: *prefixes, Seed: *seed, PathsPerPrefix: *paths, PoolSize: *pool})
-	return r.Write(os.Stdout)
+	r := rib.Generate(rib.Config{Prefixes: *prefixes, Seed: *seed, PathsPerPrefix: *paths, PoolSize: *pool,
+		Budget: ob.Budget()})
+	if err := r.Write(os.Stdout); err != nil {
+		return err
+	}
+	if r.Truncated != nil {
+		return fmt.Errorf("rib incomplete (%d of %d prefixes): %w", len(r.Entries), *prefixes, r.Truncated)
+	}
+	return nil
 }
 
 func cmdInfo() error {
@@ -93,8 +101,13 @@ func cmdCompile(args []string) error {
 	if err != nil {
 		return err
 	}
-	r.Config = rib.Config{PoolSize: *pool, Seed: *seed, Prefixes: len(r.Entries)}
+	r.Config = rib.Config{PoolSize: *pool, Seed: *seed, Prefixes: len(r.Entries), Budget: ob.Budget()}
 	db := r.ForwardingDatabase()
-	_, err = os.Stdout.WriteString(faurelog.FormatDatabase(db))
-	return err
+	if _, err := os.Stdout.WriteString(faurelog.FormatDatabase(db)); err != nil {
+		return err
+	}
+	if r.Truncated != nil {
+		return fmt.Errorf("database incomplete: %w", r.Truncated)
+	}
+	return nil
 }

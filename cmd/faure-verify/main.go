@@ -48,20 +48,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faure-verify:", err)
 		os.Exit(1)
 	}
-	defer func() { _ = ob.Close(os.Stderr) }()
 
+	exhausted := false
 	if *target == "" {
-		runBuiltin(*withUpdate, *withState, ob.Observer())
-		return
-	}
-	if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob.Observer()); err != nil {
+		exhausted = runBuiltin(*withUpdate, *withState, ob.Observer(), ob.Budget())
+	} else if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob.Observer(), ob.Budget(), &exhausted); err != nil {
+		_ = ob.Close(os.Stderr)
 		fmt.Fprintln(os.Stderr, "faure-verify:", err)
-		os.Exit(1)
+		os.Exit(obsflag.ExitCode(err))
+	}
+	_ = ob.Close(os.Stderr)
+	if exhausted {
+		// Unknown because a budget tripped, not because information was
+		// missing: distinct exit code so scripts can retry with more.
+		os.Exit(obsflag.ExitUnknownBudget)
 	}
 }
 
-func runBuiltin(withUpdate, withState bool, o faure.Observer) {
-	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(), Obs: o}
+func runBuiltin(withUpdate, withState bool, o faure.Observer, bud *faure.BudgetTracker) bool {
+	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(), Obs: o, Budget: bud}
 	known := []faure.Constraint{faure.Clb(), faure.Cs()}
 	update := faure.ListingFourUpdate()
 	state := faure.EnterpriseState(false)
@@ -70,6 +75,7 @@ func runBuiltin(withUpdate, withState bool, o faure.Observer) {
 	fmt.Println("  known constraints: C_lb (TE policy), C_s (security policy)")
 	fmt.Printf("  update: %v\n\n", update)
 
+	exhausted := false
 	for _, target := range []faure.Constraint{faure.T1(), faure.T2()} {
 		var u *faure.Update
 		if withUpdate {
@@ -79,11 +85,14 @@ func runBuiltin(withUpdate, withState bool, o faure.Observer) {
 		if withState {
 			db = state
 		}
-		report(target.Name, v, target, known, u, db)
+		if report(target.Name, v, target, known, u, db) {
+			exhausted = true
+		}
 	}
+	return exhausted
 }
 
-func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, o faure.Observer) error {
+func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, o faure.Observer, bud *faure.BudgetTracker, exhausted *bool) error {
 	target, err := loadConstraint(targetPath)
 	if err != nil {
 		return err
@@ -121,8 +130,8 @@ func runFiles(targetPath string, knownPaths []string, updatePath, statePath stri
 		}
 		doms = state.Doms
 	}
-	v := &faure.Verifier{Doms: doms, Obs: o}
-	report(target.Name, v, target, known, update, state)
+	v := &faure.Verifier{Doms: doms, Obs: o, Budget: bud}
+	*exhausted = report(target.Name, v, target, known, update, state)
 	return nil
 }
 
@@ -139,12 +148,14 @@ func loadConstraint(path string) (faure.Constraint, error) {
 	return faure.NewConstraint(name, prog)
 }
 
-func report(name string, v *faure.Verifier, target faure.Constraint, known []faure.Constraint, u *faure.Update, db *faure.Database) {
+// report prints one target's verdict; it returns true when the ladder
+// degraded to Unknown because a budget tripped.
+func report(name string, v *faure.Verifier, target faure.Constraint, known []faure.Constraint, u *faure.Update, db *faure.Database) bool {
 	fmt.Printf("verifying %s:\n", name)
 	rep, level, err := v.Ladder(target, known, u, db)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure-verify:", err)
-		os.Exit(1)
+		os.Exit(obsflag.ExitCode(err))
 	}
 	fmt.Printf("  verdict: %s (decided at %s)\n", rep.Verdict, level)
 	fmt.Printf("  reason:  %s\n", rep.Reason)
@@ -166,4 +177,5 @@ func report(name string, v *faure.Verifier, target faure.Constraint, known []fau
 		}
 	}
 	fmt.Println()
+	return rep.Exhausted != nil
 }

@@ -53,13 +53,14 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure:", err)
-		os.Exit(1)
+		os.Exit(obsflag.ExitCode(err))
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   faure eval -db <file> -program <file> [-table <pred>] [-stats] [-trace] [-metrics text|json] [-debug-addr :8080]
+             [-timeout 1s] [-max-solver-steps N] [-max-tuples N]   (budget trip -> partial output, exit code 3)
   faure worlds -db <file>
   faure check -program <file>
   faure sql -db <file> -program <file>   (print the compiled SQL script)
@@ -116,18 +117,21 @@ func cmdEval(args []string) error {
 		return err
 	}
 	var res *faure.Result
+	var truncated *faure.BudgetExceeded
 	switch *backend {
 	case "native":
 		res, err = faure.Eval(prog, db, faure.Options{
 			NoEagerPrune: *noPrune, NoAbsorb: *noAbsorb, NoIndex: *noIndex,
 			Trace:    *explain != "" || *trace,
 			Observer: ob.Observer(),
+			Budget:   ob.Budget(),
 		})
 		if err != nil {
 			return err
 		}
+		truncated = res.Truncated
 	case "sql":
-		out, sqlStats, err := faure.EvalSQL(prog, db, faure.SQLOptions{NoIndex: *noIndex})
+		out, sqlStats, err := faure.EvalSQL(prog, db, faure.SQLOptions{NoIndex: *noIndex, Budget: ob.Budget()})
 		if err != nil {
 			return err
 		}
@@ -135,6 +139,7 @@ func cmdEval(args []string) error {
 			SQLTime: sqlStats.SQLTime, SolverTime: sqlStats.SolverTime,
 			Derived: sqlStats.Inserted, Pruned: sqlStats.Deleted, Iterations: sqlStats.Iterations,
 		}}
+		truncated = sqlStats.Truncated
 	default:
 		return fmt.Errorf("unknown backend %q (native or sql)", *backend)
 	}
@@ -197,6 +202,11 @@ func cmdEval(args []string) error {
 		s := res.Stats
 		fmt.Printf("sql=%v solver=%v derived=%d pruned=%d absorbed=%d iterations=%d sat-calls=%d\n",
 			s.SQLTime, s.SolverTime, s.Derived, s.Pruned, s.Absorbed, s.Iterations, s.SatCalls)
+	}
+	if truncated != nil {
+		// The tables above are the partial result; the trip is reported
+		// on stderr and as exit code 3 via main.
+		return fmt.Errorf("result incomplete: %w", truncated)
 	}
 	return nil
 }

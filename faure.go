@@ -32,10 +32,15 @@
 package faure
 
 import (
+	"context"
+	"time"
+
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/containment"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/guard"
 	"faure/internal/lossless"
 	"faure/internal/minisql"
 	"faure/internal/network"
@@ -273,13 +278,73 @@ func ServeDebug(addr string, reg *Metrics) (*obs.DebugServer, error) {
 	return obs.ServeDebug(addr, reg)
 }
 
+// Resource-governance types: evaluations, verifications and the SQL
+// backend accept an opt-in Budget (wall-clock deadline, solver-step
+// cap, derived-tuple cap, condition-size cap) plus a context for
+// cancellation. Exceeding a budget is not an error path — Eval and
+// EvalSQL return the partial result with its Truncated field set, and
+// the Verifier degrades to Unknown with the exhausted budget named in
+// the Report. With no budget set, behaviour is unchanged (budgets are
+// decision-preserving by construction: a nil tracker disables every
+// check).
+type (
+	// Budget is the set of resource limits; zero fields are unlimited.
+	Budget = budget.Limits
+	// BudgetTracker enforces one Budget across all the layers that
+	// share it; build one with NewBudget. A nil tracker is unlimited.
+	BudgetTracker = budget.B
+	// BudgetExceeded reports which budget tripped, its limit and where
+	// in the computation it was exhausted (e.g. "stratum 3 round 2").
+	BudgetExceeded = budget.Exceeded
+)
+
+// Budget kinds, reported in BudgetExceeded.Kind.
+const (
+	BudgetCanceled    = budget.Canceled
+	BudgetDeadline    = budget.Deadline
+	BudgetSolverSteps = budget.SolverSteps
+	BudgetTuples      = budget.Tuples
+	BudgetCondSize    = budget.CondSize
+)
+
+// NewBudget builds a shared tracker for one run: ctx supplies
+// cancellation (nil means background), lim the limits. Hand the same
+// tracker to every layer of one analysis — e.g. Options.Budget and
+// Verifier.Budget — so the limits bound the whole run, not each layer
+// separately.
+func NewBudget(ctx context.Context, lim Budget) *BudgetTracker { return budget.New(ctx, lim) }
+
+// AsBudgetExceeded extracts the budget trip from an error chain, if
+// the error is one.
+func AsBudgetExceeded(err error) (*BudgetExceeded, bool) { return budget.As(err) }
+
+// WithBudget returns a copy of opts governed by the tracker.
+func WithBudget(opts Options, b *BudgetTracker) Options {
+	opts.Budget = b
+	return opts
+}
+
+// WithContext returns a copy of opts whose evaluation stops (with a
+// Truncated result) when ctx is cancelled or its deadline passes.
+func WithContext(opts Options, ctx context.Context) Options {
+	opts.Context = ctx
+	return opts
+}
+
+// WithTimeout is shorthand for a wall-clock-only budget.
+func WithTimeout(opts Options, d time.Duration) Options {
+	return WithBudget(opts, NewBudget(nil, Budget{Timeout: d}))
+}
+
 // Eval runs a fauré-log program over a database.
-func Eval(prog *Program, db *Database, opts Options) (*Result, error) {
+func Eval(prog *Program, db *Database, opts Options) (res *Result, err error) {
+	defer guard.Recover("faure.Eval", &err)
 	return faurelog.Eval(prog, db, opts)
 }
 
 // EvalQuery evaluates and returns one derived table.
-func EvalQuery(prog *Program, db *Database, pred string, opts Options) (*Table, *Result, error) {
+func EvalQuery(prog *Program, db *Database, pred string, opts Options) (tbl *Table, res *Result, err error) {
+	defer guard.Recover("faure.EvalQuery", &err)
 	return faurelog.EvalQuery(prog, db, pred, opts)
 }
 
@@ -287,7 +352,8 @@ func EvalQuery(prog *Program, db *Database, pred string, opts Options) (*Table, 
 // re-deriving only what they enable (positive programs only); the
 // incremental-maintenance capability the paper's related work
 // contrasts fauré with.
-func EvalIncrement(prog *Program, prev *Database, added map[string][]Tuple, opts Options) (*Result, error) {
+func EvalIncrement(prog *Program, prev *Database, added map[string][]Tuple, opts Options) (res *Result, err error) {
+	defer guard.Recover("faure.EvalIncrement", &err)
 	return faurelog.EvalIncrement(prog, prev, added, opts)
 }
 
@@ -301,20 +367,28 @@ type SQLStats = minisql.Stats
 // the paper's §6 implementation strategy (fauré-log executed by SQL
 // rewriting plus a solver pass). The returned script text parses back
 // with the same package and can be inspected or executed.
-func CompileSQL(prog *Program, db *Database) (string, error) {
-	script, err := minisql.Compile(prog, db)
+func CompileSQL(prog *Program, db *Database) (script string, err error) {
+	defer guard.Recover("faure.CompileSQL", &err)
+	s, err := minisql.Compile(prog, db)
 	if err != nil {
 		return "", err
 	}
-	return script.String(), nil
+	return s.String(), nil
 }
 
 // EvalSQL runs a fauré-log program through the SQL backend (compile →
 // render → parse → execute); it agrees with Eval on the full language
 // (negation compiles to NOTIN "not derivable" expressions).
-func EvalSQL(prog *Program, db *Database, opts SQLOptions) (*Database, *SQLStats, error) {
+func EvalSQL(prog *Program, db *Database, opts SQLOptions) (db2 *Database, stats *SQLStats, err error) {
+	defer guard.Recover("faure.EvalSQL", &err)
 	return minisql.EvalSQL(prog, db, opts)
 }
+
+// PanicError is the error the façade entry points and the Verifier
+// return when an internal invariant fails: the panic is recovered at
+// the API boundary, wrapped with its location and stack, and surfaced
+// as an ordinary error instead of crashing the caller.
+type PanicError = guard.PanicError
 
 // Relational algebra over c-tables (the paper's §3 baseline; see
 // internal/ctable): Sigma/Pi/Bowtie-style operators whose results stay

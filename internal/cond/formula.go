@@ -29,16 +29,22 @@ const (
 // logically identical spellings share a canonical Key, which both the
 // solver cache and fixpoint-termination dedup rely on.
 type Formula struct {
-	Kind FKind
-	Atom Atom       // valid when Kind == FAtom
-	Sub  []*Formula // children for FAnd/FOr (>=2), FNot (==1)
-	key  string     // canonical key, computed at construction
+	Kind   FKind
+	Atom   Atom       // valid when Kind == FAtom
+	Sub    []*Formula // children for FAnd/FOr (>=2), FNot (==1)
+	key    string     // canonical key, computed at construction
+	nAtoms int        // atom occurrences, computed at construction
 }
 
 var (
 	trueF  = &Formula{Kind: FTrue, key: "T"}
 	falseF = &Formula{Kind: FFalse, key: "F"}
 )
+
+// NAtoms returns the number of atom occurrences in f. It is computed
+// at construction, so budget checks on condition growth cost a field
+// read rather than a tree walk.
+func (f *Formula) NAtoms() int { return f.nAtoms }
 
 // True returns the always-satisfied condition.
 func True() *Formula { return trueF }
@@ -73,7 +79,7 @@ func AtomF(a Atom) *Formula {
 			return falseF
 		}
 	}
-	return &Formula{Kind: FAtom, Atom: a, key: "a:" + a.Key()}
+	return &Formula{Kind: FAtom, Atom: a, key: "a:" + a.Key(), nAtoms: 1}
 }
 
 // foldSum moves integer-constant summands of a multi-term sum into the
@@ -172,14 +178,16 @@ func combine(kind FKind, fs []*Formula) *Formula {
 	} else {
 		b.WriteString("|(")
 	}
+	n := 0
 	for i, f := range flat {
 		if i > 0 {
 			b.WriteByte(',')
 		}
 		b.WriteString(f.key)
+		n += f.nAtoms
 	}
 	b.WriteByte(')')
-	return &Formula{Kind: kind, Sub: flat, key: b.String()}
+	return &Formula{Kind: kind, Sub: flat, key: b.String(), nAtoms: n}
 }
 
 // Not returns the negation of f. Negations of atoms are rewritten to
@@ -195,7 +203,7 @@ func Not(f *Formula) *Formula {
 	case FNot:
 		return f.Sub[0]
 	}
-	return &Formula{Kind: FNot, Sub: []*Formula{f}, key: "!(" + f.key + ")"}
+	return &Formula{Kind: FNot, Sub: []*Formula{f}, key: "!(" + f.key + ")", nAtoms: f.nAtoms}
 }
 
 // Key returns the canonical key of the formula. Formulas with equal

@@ -40,12 +40,22 @@ import (
 	"sort"
 	"strconv"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
 	"faure/internal/obs"
 	"faure/internal/solver"
 )
+
+// Opts carries the cross-cutting context of a containment check: the
+// observer the spans and counters report to, and the resource budget
+// the inner evaluation and solver drain. Both are optional; the zero
+// value runs unobserved and unbudgeted.
+type Opts struct {
+	Obs    obs.Observer
+	Budget *budget.B
+}
 
 // PanicPred is the reserved 0-ary violation predicate.
 const PanicPred = "panic"
@@ -67,6 +77,11 @@ func NewConstraint(name string, prog *faurelog.Program) (Constraint, error) {
 }
 
 // MustConstraint is NewConstraint for statically-known programs.
+//
+// Invariant, not an error path: like faurelog.MustParse, the source is
+// a compile-time literal (the built-in enterprise policies, tests), so
+// failure means the literal itself is wrong. Constraints read from
+// files go through NewConstraint + Parse and surface errors normally.
 func MustConstraint(name, src string) Constraint {
 	c, err := NewConstraint(name, faurelog.MustParse(src))
 	if err != nil {
@@ -131,7 +146,7 @@ type Result struct {
 // only base (EDB) relations, as the paper's T1 and T2 do. Containers
 // may use intermediate predicates freely (C_lb and C_s do).
 func Subsumes(target Constraint, known []Constraint, doms solver.Domains, schema *Schema) (Result, error) {
-	return SubsumesObserved(target, known, doms, schema, nil)
+	return SubsumesWith(target, known, doms, schema, Opts{})
 }
 
 // SubsumesObserved is Subsumes with observability: o (nil disables)
@@ -139,6 +154,17 @@ func Subsumes(target Constraint, known []Constraint, doms solver.Domains, schema
 // child per target panic rule, and the category (i) check/outcome
 // counters. The inner evaluation and solver report through o as well.
 func SubsumesObserved(target Constraint, known []Constraint, doms solver.Domains, schema *Schema, o obs.Observer) (Result, error) {
+	return SubsumesWith(target, known, doms, schema, Opts{Obs: o})
+}
+
+// SubsumesWith is Subsumes with full cross-cutting context (observer
+// and budget). A budget trip anywhere in the check — the mapping
+// enumeration, the inner evaluation of the containers, the implication
+// solver — aborts it with the *budget.Exceeded as the error: an
+// incomplete panic derivation cannot soundly prove containment, so the
+// caller must degrade to Unknown rather than trust a partial answer.
+func SubsumesWith(target Constraint, known []Constraint, doms solver.Domains, schema *Schema, opt Opts) (Result, error) {
+	o := opt.Obs
 	obsOn := o != nil && o.Enabled()
 	ob := obs.OrNop(o)
 	var span obs.Span
@@ -176,7 +202,10 @@ func SubsumesObserved(target Constraint, known []Constraint, doms solver.Domains
 		if obsOn {
 			ob.Count("containment.category_i.checks", 1)
 		}
-		ok, err := ruleContained(r, combined, base, doms, schema, span, ri, o)
+		if err := opt.Budget.Check(fmt.Sprintf("containment mapping %d", ri)); err != nil {
+			return Result{}, err
+		}
+		ok, err := ruleContained(r, combined, base, doms, schema, span, ri, opt)
 		if err != nil {
 			return Result{}, err
 		}
@@ -199,7 +228,8 @@ func SubsumesObserved(target Constraint, known []Constraint, doms solver.Domains
 // a canonical database and checks that the container program derives
 // panic on it under the rule's own conditions. parent/o carry the
 // observation context (a "containment.mapping" child span per rule).
-func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema, parent obs.Span, ruleIdx int, o obs.Observer) (bool, error) {
+func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema, parent obs.Span, ruleIdx int, opt Opts) (bool, error) {
+	o := opt.Obs
 	obsOn := o != nil && o.Enabled()
 	var span obs.Span
 	if obsOn {
@@ -211,9 +241,16 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 	if err != nil {
 		return false, err
 	}
-	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o})
+	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o, Budget: opt.Budget})
 	if err != nil {
 		return false, err
+	}
+	if res.Truncated != nil {
+		// The containers' panic derivation is incomplete; treating it as
+		// the full fixpoint could wrongly report "not contained" (or,
+		// worse, vacuous containment against a partial panic set).
+		// Surface the exhaustion for the caller to degrade to Unknown.
+		return false, res.Truncated
 	}
 	var panics []*cond.Formula
 	if tbl := res.DB.Table(PanicPred); tbl != nil {
@@ -222,6 +259,7 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 		}
 	}
 	s := solver.New(db.Doms)
+	s.SetBudget(opt.Budget)
 	if obsOn {
 		s.SetObserver(o)
 		span.SetAttrs(obs.Int("panic_tuples", int64(len(panics))))

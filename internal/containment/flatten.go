@@ -291,9 +291,15 @@ func SubsumesFlattened(target Constraint, known []Constraint, doms solver.Domain
 // SubsumesFlattenedObserved is SubsumesFlattened with observability;
 // see SubsumesObserved.
 func SubsumesFlattenedObserved(target Constraint, known []Constraint, doms solver.Domains, schema *Schema, o obs.Observer) (Result, error) {
+	return SubsumesFlattenedWith(target, known, doms, schema, Opts{Obs: o})
+}
+
+// SubsumesFlattenedWith is SubsumesFlattened with full cross-cutting
+// context; see SubsumesWith for budget semantics.
+func SubsumesFlattenedWith(target Constraint, known []Constraint, doms solver.Domains, schema *Schema, opt Opts) (Result, error) {
 	flat, err := Flatten(target.Program)
 	if err != nil {
 		return Result{}, err
 	}
-	return SubsumesObserved(Constraint{Name: target.Name, Program: flat}, known, doms, schema, o)
+	return SubsumesWith(Constraint{Name: target.Name, Program: flat}, known, doms, schema, opt)
 }

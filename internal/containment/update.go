@@ -38,7 +38,7 @@ import (
 // in every world of the canonical pre-state consistent with the
 // assumption.
 func SubsumesAfterUpdate(target Constraint, u rewrite.Update, known []Constraint, doms solver.Domains, schema *Schema) (Result, error) {
-	return SubsumesAfterUpdateObserved(target, u, known, doms, schema, nil)
+	return SubsumesAfterUpdateWith(target, u, known, doms, schema, Opts{})
 }
 
 // SubsumesAfterUpdateObserved is SubsumesAfterUpdate with
@@ -47,6 +47,13 @@ func SubsumesAfterUpdate(target Constraint, u rewrite.Update, known []Constraint
 // "containment.mapping" child per target panic rule, and the category
 // (ii) check/outcome counters.
 func SubsumesAfterUpdateObserved(target Constraint, u rewrite.Update, known []Constraint, doms solver.Domains, schema *Schema, o obs.Observer) (Result, error) {
+	return SubsumesAfterUpdateWith(target, u, known, doms, schema, Opts{Obs: o})
+}
+
+// SubsumesAfterUpdateWith is SubsumesAfterUpdate with full
+// cross-cutting context; see SubsumesWith for budget semantics.
+func SubsumesAfterUpdateWith(target Constraint, u rewrite.Update, known []Constraint, doms solver.Domains, schema *Schema, opt Opts) (Result, error) {
+	o := opt.Obs
 	obsOn := o != nil && o.Enabled()
 	ob := obs.OrNop(o)
 	var span obs.Span
@@ -93,11 +100,14 @@ func SubsumesAfterUpdateObserved(target Constraint, u rewrite.Update, known []Co
 		if obsOn {
 			ob.Count("containment.category_ii.checks", 1)
 		}
+		if err := opt.Budget.Check(fmt.Sprintf("containment mapping %d", ri)); err != nil {
+			return Result{}, err
+		}
 		var mapSpan obs.Span
 		if obsOn {
 			mapSpan = span.StartChild("containment.mapping", obs.Int("rule", int64(ri)))
 		}
-		ok, err := ruleContainedAfterUpdate(r, u, combined, base, doms, schema, mapSpan, o)
+		ok, err := ruleContainedAfterUpdate(r, u, combined, base, doms, schema, mapSpan, opt)
 		if obsOn {
 			mapSpan.End()
 		}
@@ -122,16 +132,21 @@ func SubsumesAfterUpdateObserved(target Constraint, u rewrite.Update, known []Co
 // ruleContainedAfterUpdate runs the category (ii) check for one target
 // panic rule: build the generic pre-state instance, evaluate the
 // containers on it, and discharge the implication.
-func ruleContainedAfterUpdate(r faurelog.Rule, u rewrite.Update, combined *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema, mapSpan obs.Span, o obs.Observer) (bool, error) {
+func ruleContainedAfterUpdate(r faurelog.Rule, u rewrite.Update, combined *faurelog.Program, base map[string]int, doms solver.Domains, schema *Schema, mapSpan obs.Span, opt Opts) (bool, error) {
+	o := opt.Obs
 	obsOn := o != nil && o.Enabled()
 	fr := NewFreezer(doms, schema)
 	db, assumption, err := fr.canonicalDBAfterUpdate(r, base, u)
 	if err != nil {
 		return false, err
 	}
-	res, err := faurelog.Eval(combined, db, faurelog.Options{Observer: o})
+	res, err := faurelog.Eval(combined, db, faurelog.Options{Observer: o, Budget: opt.Budget})
 	if err != nil {
 		return false, err
+	}
+	if res.Truncated != nil {
+		// See ruleContained: a partial panic derivation proves nothing.
+		return false, res.Truncated
 	}
 	var panics []*cond.Formula
 	if tbl := res.DB.Table(PanicPred); tbl != nil {
@@ -140,6 +155,7 @@ func ruleContainedAfterUpdate(r faurelog.Rule, u rewrite.Update, combined *faure
 		}
 	}
 	s := solver.New(db.Doms)
+	s.SetBudget(opt.Budget)
 	if obsOn {
 		s.SetObserver(o)
 		mapSpan.SetAttrs(obs.Int("panic_tuples", int64(len(panics))))

@@ -141,6 +141,11 @@ func (t *Table) Insert(tp Tuple) error {
 
 // MustInsert is Insert for static construction; it panics on arity
 // mismatch.
+//
+// Invariant, not an error path: callers (topology compilers, the RIB
+// generator) build the values slice to the schema they just declared,
+// so a mismatch is a bug in the generator, not a data condition.
+// Parsed input goes through Insert, which returns the error.
 func (t *Table) MustInsert(c *cond.Formula, values ...cond.Term) {
 	if err := t.Insert(NewTuple(values, c)); err != nil {
 		panic(err)

@@ -1,0 +1,69 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedFiresNothing(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("armed after Disarm")
+	}
+	if err := Fire(SolverSat); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+}
+
+func TestCountdown(t *testing.T) {
+	defer Disarm()
+	boom := errors.New("boom")
+	Arm(FaurelogIteration, 3, boom)
+	if !Armed() {
+		t.Fatal("not armed")
+	}
+	if err := Fire(FaurelogIteration); err != nil {
+		t.Fatalf("fired on call 1: %v", err)
+	}
+	if err := Fire(FaurelogIteration); err != nil {
+		t.Fatalf("fired on call 2: %v", err)
+	}
+	if err := Fire(FaurelogIteration); !errors.Is(err, boom) {
+		t.Fatalf("call 3: want boom, got %v", err)
+	}
+	// A failing dependency stays failed.
+	if err := Fire(FaurelogIteration); !errors.Is(err, boom) {
+		t.Fatalf("call 4: want boom, got %v", err)
+	}
+	// Other points are unaffected.
+	if err := Fire(SolverSat); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	defer Disarm()
+	ArmDelay(RelstoreInsert, 20*time.Millisecond)
+	start := time.Now()
+	if err := Fire(RelstoreInsert); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("delay not applied: %v", elapsed)
+	}
+}
+
+func TestRearmReplaces(t *testing.T) {
+	defer Disarm()
+	first := errors.New("first")
+	second := errors.New("second")
+	Arm(SolverSat, 1, first)
+	Arm(SolverSat, 2, second)
+	if err := Fire(SolverSat); err != nil {
+		t.Fatalf("replaced plan fired early: %v", err)
+	}
+	if err := Fire(SolverSat); !errors.Is(err, second) {
+		t.Fatalf("want second, got %v", err)
+	}
+}

@@ -386,8 +386,14 @@ func (p *Program) Validate() error {
 	return nil
 }
 
-// MustParse parses a program and panics on error; intended for
-// statically-known program text in examples and tests.
+// MustParse parses a program and panics on error.
+//
+// Invariant, not an error path: this is the regexp.MustCompile idiom —
+// callers pass statically-known program text (examples, tests, the
+// built-in §5 scenario), so a failure is a bug in that text, caught at
+// first execution. Runtime input must go through Parse; the façade
+// entry points additionally recover any such panic into a
+// guard.PanicError rather than crashing the caller.
 func MustParse(src string) *Program {
 	p, err := Parse(src)
 	if err != nil {

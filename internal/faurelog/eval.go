@@ -1,12 +1,16 @@
 package faurelog
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"time"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 	"faure/internal/obs"
 	"faure/internal/relstore"
 	"faure/internal/solver"
@@ -42,6 +46,31 @@ type Options struct {
 	// split. Nil disables observation: the hot paths then pay a single
 	// flag check per site and never read the clock for spans.
 	Observer obs.Observer
+	// Context cancels the evaluation; it is polled between fixpoint
+	// rounds and rule applications. Nil means background (never
+	// canceled). Cancellation is not an error: Eval returns the partial
+	// result derived so far, flagged Truncated.
+	Context context.Context
+	// Budget is the live resource tracker the evaluation charges —
+	// solver steps, derived tuples, condition sizes, wall clock. Nil
+	// disables accounting (unless Context is set, which still enables
+	// cancellation polling). Callers that want one budget to span
+	// several phases (the verifier's ladder) pass the same tracker to
+	// each; the first phase to exhaust it trips them all.
+	Budget *budget.B
+}
+
+// tracker resolves the effective budget: an explicit tracker wins, a
+// bare Context still gets cancellation polling, neither means nil (all
+// checks compile to a pointer comparison).
+func (o Options) tracker() *budget.B {
+	if o.Budget != nil {
+		return o.Budget
+	}
+	if o.Context != nil {
+		return budget.New(o.Context, budget.Limits{})
+	}
+	return nil
 }
 
 func (o Options) maxIters() int {
@@ -88,7 +117,13 @@ func (s *Stats) Add(other Stats) {
 type Result struct {
 	DB    *ctable.Database
 	Stats Stats
-	trace map[string]Derivation
+	// Truncated is non-nil when a resource budget (or cancellation)
+	// stopped the fixpoint early: DB then holds the tuples derived up to
+	// the last completed checkpoint, an under-approximation of the true
+	// fixpoint. Consumers that need completeness (the verifier) must
+	// treat a truncated result as Unknown, never as evidence of absence.
+	Truncated *budget.Exceeded
+	trace     map[string]Derivation
 }
 
 // Table returns a derived or input table by name, or nil.
@@ -104,9 +139,35 @@ func Eval(prog *Program, db *ctable.Database, opts Options) (*Result, error) {
 		return nil, err
 	}
 	if err := e.run(); err != nil {
+		// Exceeding a budget is not an error path: surface the partial
+		// result, flagged with the exhausted budget.
+		if ex := asExceeded(err); ex != nil {
+			res, rerr := e.result()
+			if rerr != nil {
+				return nil, rerr
+			}
+			res.Truncated = ex
+			return res, nil
+		}
 		return nil, err
 	}
 	return e.result()
+}
+
+// asExceeded extracts a budget-exhaustion record from err, mapping raw
+// context sentinels (as injected by the fault harness or returned by
+// third-party code) onto the cancellation kinds.
+func asExceeded(err error) *budget.Exceeded {
+	if ex, ok := budget.As(err); ok {
+		return ex
+	}
+	if errors.Is(err, context.Canceled) {
+		return &budget.Exceeded{Kind: budget.Canceled}
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return &budget.Exceeded{Kind: budget.Deadline}
+	}
+	return nil
 }
 
 // EvalQuery evaluates the program and returns the named derived table
@@ -148,6 +209,9 @@ type engine struct {
 	// site so a disabled run pays one branch and no clock reads.
 	o     obs.Observer
 	obsOn bool
+	// bud is the resolved resource tracker (nil when governance is off);
+	// the solver shares it, so its steps drain the same budget.
+	bud *budget.B
 }
 
 func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error) {
@@ -165,7 +229,9 @@ func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error
 		arity: map[string]int{},
 		o:     obs.OrNop(opts.Observer),
 		obsOn: opts.Observer != nil && opts.Observer.Enabled(),
+		bud:   opts.tracker(),
 	}
+	e.sol.SetBudget(e.bud)
 	if opts.NoSolverCache {
 		e.sol.SetCacheLimit(0)
 	}
@@ -300,6 +366,9 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 		cur[pred] = append(cur[pred], tp)
 	}
 	// Round zero: evaluate every rule in full.
+	if err := e.checkpoint(stratum, 0); err != nil {
+		return err
+	}
 	var itSpan obs.Span
 	if e.obsOn {
 		itSpan = evalSpan.StartChild("iteration",
@@ -307,7 +376,7 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 	}
 	for _, r := range rules {
 		if err := e.deriveRuleObserved(r, -1, nil, sink, itSpan); err != nil {
-			return err
+			return e.annotate(err, stratum, 0)
 		}
 	}
 	if e.obsOn {
@@ -317,6 +386,9 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 		e.stats.Iterations++
 		if iter >= e.opts.maxIters() {
 			return fmt.Errorf("faurelog: fixpoint did not converge within %d iterations", e.opts.maxIters())
+		}
+		if err := e.checkpoint(stratum, iter+1); err != nil {
+			return err
 		}
 		if e.obsOn {
 			itSpan = evalSpan.StartChild("iteration",
@@ -334,7 +406,7 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 					continue
 				}
 				if err := e.deriveRuleObserved(r, i, d, sink, itSpan); err != nil {
-					return err
+					return e.annotate(err, stratum, iter+1)
 				}
 			}
 		}
@@ -343,6 +415,32 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 		}
 	}
 	return nil
+}
+
+// checkpoint runs the per-round governance checks: the fault-injection
+// point for deterministic iteration failures, then cancellation and
+// wall-clock polling.
+func (e *engine) checkpoint(stratum, round int) error {
+	if faultinject.Armed() {
+		if err := faultinject.Fire(faultinject.FaurelogIteration); err != nil {
+			return err
+		}
+	}
+	if err := e.bud.Check(fmt.Sprintf("stratum %d round %d", stratum, round)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// annotate localises a budget trip that surfaced from deep inside a
+// rule application (typically the solver, which only knows "solver"):
+// the engine knows the stratum and round, so the structured reason can
+// say "solver step budget exhausted at stratum 3".
+func (e *engine) annotate(err error, stratum, round int) error {
+	if ex, ok := budget.As(err); ok && (ex.Where == "" || ex.Where == "solver") {
+		ex.Where = fmt.Sprintf("stratum %d round %d", stratum, round)
+	}
+	return err
 }
 
 // deriveRuleObserved wraps deriveRule in a "rule" span recording the
@@ -372,6 +470,11 @@ func (e *engine) deriveRuleObserved(r Rule, deltaIdx int, deltaTuples []ctable.T
 // the rule was written in (safety is validated, so the reordering
 // always succeeds).
 func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple)) error {
+	// Per-rule-application poll; the empty location is filled in with
+	// the stratum and round by the caller's annotate.
+	if err := e.bud.Check(""); err != nil {
+		return err
+	}
 	ordered := r
 	if reordered, mapped := reorderBody(r, deltaIdx); reordered != nil {
 		ordered.Body = reordered
@@ -653,6 +756,9 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 		e.stats.Pruned++
 		return nil
 	}
+	if err := e.bud.CheckCond(condition.NAtoms(), "derived condition for "+r.Head.Pred); err != nil {
+		return err
+	}
 	values := make([]cond.Term, len(r.Head.Args))
 	for i, t := range r.Head.Args {
 		switch t.Kind {
@@ -711,6 +817,9 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 		byData[dataKey] = append(byData[dataKey], condition)
 	}
 
+	if err := e.bud.AddTuples(1, "derived relation "+pred); err != nil {
+		return err
+	}
 	rel := e.store.Ensure(pred, len(values))
 	if err := rel.Insert(tp); err != nil {
 		return err

@@ -18,6 +18,9 @@ func FuzzParse(f *testing.F) {
 		`q(x :- r(x).`,
 		`$`,
 		`q(x) :- r(x)`,
+		`q(v) [!!!!!!!!($x = 1)] :- r(v).`, // deep-nesting shape (capped at maxCondDepth)
+		`q(v) [`,                           // truncated condition at EOF
+		`q(v) :- r(v),`,                    // truncated body at EOF
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -75,6 +78,8 @@ func FuzzParseCondition(f *testing.F) {
 		`false`,
 		`x = 1`,
 		`$x =`,
+		`!!!!!!!!!!$x = 1`,
+		`((((($x = 1`,
 	} {
 		f.Add(s)
 	}

@@ -163,6 +163,16 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 		evalSpan.End()
 	}
 	if runErr != nil {
+		// Budget exhaustion degrades to a truncated partial result,
+		// exactly as in scratch evaluation.
+		if ex := asExceeded(runErr); ex != nil {
+			res, rerr := e.result()
+			if rerr != nil {
+				return nil, rerr
+			}
+			res.Truncated = ex
+			return res, nil
+		}
 		return nil, runErr
 	}
 	return e.result()
@@ -182,6 +192,9 @@ func (e *engine) propagate(rules []Rule, seed delta, evalSpan obs.Span, stratum 
 		e.stats.Iterations++
 		if iter >= e.opts.maxIters() {
 			return nil, fmt.Errorf("faurelog: incremental fixpoint did not converge within %d iterations", e.opts.maxIters())
+		}
+		if err := e.checkpoint(stratum, iter); err != nil {
+			return nil, err
 		}
 		var itSpan obs.Span
 		if e.obsOn {
@@ -205,7 +218,7 @@ func (e *engine) propagate(rules []Rule, seed delta, evalSpan obs.Span, stratum 
 					if e.obsOn {
 						itSpan.End()
 					}
-					return nil, err
+					return nil, e.annotate(err, stratum, iter)
 				}
 			}
 		}

@@ -31,9 +31,15 @@ func Parse(src string) (*Program, error) {
 	p := &parser{toks: toks}
 	prog := &Program{}
 	for !p.at(lang.TEOF) {
+		before := p.pos
 		r, err := p.rule()
 		if err != nil {
 			return nil, &ParseError{Err: err, Src: src}
+		}
+		if p.pos == before {
+			// Defensive: every successful rule consumes tokens; a
+			// zero-progress iteration would loop forever on this input.
+			return nil, &ParseError{Err: lang.Errorf(p.peek(), "parser made no progress"), Src: src}
 		}
 		prog.Rules = append(prog.Rules, r)
 	}
@@ -63,6 +69,7 @@ func ParseDatabase(src string) (*ctable.Database, error) {
 	p := &parser{toks: toks}
 	db := ctable.NewDatabase()
 	for !p.at(lang.TEOF) {
+		before := p.pos
 		if p.peek().IsIdent("var") {
 			name, dom, err := p.varDecl()
 			if err != nil {
@@ -75,6 +82,9 @@ func ParseDatabase(src string) (*ctable.Database, error) {
 		r, err := p.rule()
 		if err != nil {
 			return nil, &ParseError{Err: err, Src: src}
+		}
+		if p.pos == before {
+			return nil, &ParseError{Err: lang.Errorf(p.peek(), "parser made no progress"), Src: src}
 		}
 		if len(r.Body) > 0 || len(r.Comps) > 0 {
 			return nil, &ParseError{Err: lang.Errorf(start, "database files may contain only facts and var declarations"), Src: src}
@@ -109,9 +119,19 @@ func ParseDatabase(src string) (*ctable.Database, error) {
 	return db, nil
 }
 
+// maxCondDepth caps condition-expression nesting (chains of '!' and
+// parentheses). The recursive-descent parser uses one Go stack frame
+// per nesting level, and a goroutine stack overflow is a fatal,
+// unrecoverable crash — so adversarially deep inputs must be rejected
+// with an ordinary position-annotated error well before that point.
+const maxCondDepth = 10_000
+
 type parser struct {
 	toks []lang.Token
 	pos  int
+	// depth is the current condUnary recursion depth, bounded by
+	// maxCondDepth.
+	depth int
 }
 
 func (p *parser) peek() lang.Token { return p.toks[p.pos] }
@@ -412,6 +432,13 @@ func (p *parser) condAnd() (CondExpr, error) {
 }
 
 func (p *parser) condUnary() (CondExpr, error) {
+	// All unbounded parser recursion funnels through here: '!' recurses
+	// directly, '(' via condExpr → condOr → condAnd → condUnary.
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxCondDepth {
+		return nil, lang.Errorf(p.peek(), "condition nested deeper than %d levels", maxCondDepth)
+	}
 	switch {
 	case p.peek().Is("!"):
 		p.next()

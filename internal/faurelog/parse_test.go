@@ -1,0 +1,106 @@
+package faurelog
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseDeepNestingRejected: adversarially deep condition nesting
+// must come back as a position-annotated parse error, never as a
+// goroutine stack overflow (which is fatal and unrecoverable). The '!'
+// chain below used to crash the process before the depth cap.
+func TestParseDeepNestingRejected(t *testing.T) {
+	deep := func(prefix, unit, suffix string, n int) string {
+		return prefix + strings.Repeat(unit, n) + suffix
+	}
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bang-chain-program", deep(`q(v) [`, "!", `$x = 1] :- r(v).`, 2_000_000)},
+		{"paren-chain-program", deep(`q(v) [`, "(", `$x = 1`, 2_000_000) + strings.Repeat(")", 2_000_000) + `] :- r(v).`},
+		{"mixed-chain-program", deep(`q(v) [`, "!(", `$x = 1`, 1_000_000) + strings.Repeat(")", 1_000_000) + `] :- r(v).`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("expected a nesting-depth error")
+			}
+			if !strings.Contains(err.Error(), "nested deeper") {
+				t.Fatalf("expected a depth-cap error, got: %v", err)
+			}
+			// The error must carry a source position.
+			if !strings.Contains(err.Error(), ":") {
+				t.Fatalf("expected a position-annotated error, got: %v", err)
+			}
+		})
+	}
+	// Same cap for the standalone condition parser.
+	if _, err := ParseCondition(strings.Repeat("!", 2_000_000) + "$x = 1"); err == nil ||
+		!strings.Contains(err.Error(), "nested deeper") {
+		t.Fatalf("ParseCondition: expected a depth-cap error, got: %v", err)
+	}
+}
+
+// TestParseDeepNestingAccepted: nesting below the cap still parses, so
+// the cap is a crash guard, not a language restriction anyone will hit.
+func TestParseDeepNestingAccepted(t *testing.T) {
+	src := strings.Repeat("!!", 500) + "$x = 1" // depth 1000, well under the cap
+	c, err := ParseCondition(src)
+	if err != nil {
+		t.Fatalf("ParseCondition(depth 1000): %v", err)
+	}
+	if c == nil {
+		t.Fatal("nil condition")
+	}
+}
+
+// TestParseTruncatedInputsTerminate: truncated and token-soup inputs
+// (the shapes fuzzing surfaces) must fail fast with an error, not spin
+// in a parser loop at EOF.
+func TestParseTruncatedInputsTerminate(t *testing.T) {
+	inputs := []string{
+		``,
+		`q(`,
+		`q(v`,
+		`q(v)`,
+		`q(v) :-`,
+		`q(v) :- r(v)`,
+		`q(v) :- r(v),`,
+		`q(v) :- r(v), `,
+		`q(v) [`,
+		`q(v) [$x`,
+		`q(v) [$x =`,
+		`q(v) [$x = 1`,
+		`q(v) [$x = 1]`,
+		`q(v) :- $x +`,
+		`q(v) :- $x + $y`,
+		`q(v) :- not`,
+		`q(v) :- not r(`,
+		`,`,
+		`.`,
+		`:-`,
+		`q() :- , .`,
+		`q(v) [!] :- r(v).`,
+		`q(v) [()] :- r(v).`,
+	}
+	for _, src := range inputs {
+		src := src
+		t.Run("prog:"+src, func(t *testing.T) {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				_, _ = Parse(src)
+				_, _ = ParseDatabase(src)
+				_, _ = ParseCondition(src)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("parser did not terminate on %q", src)
+			}
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// Package guard converts panics at the public API boundary into typed
+// errors. The façade's promise is that a hostile program crashes the
+// analysis, not the host: Eval, EvalSQL and the Verifier methods defer
+// a Recover so an internal invariant violation surfaces as a
+// *PanicError carrying the panic value, the boundary it escaped
+// through, and the goroutine stack — enough to file a bug, without
+// taking the embedding process down.
+//
+// Recovery is deliberately boundary-only. Internal layers do not
+// recover: a panic there propagates to the nearest façade call, so a
+// real bug is reported exactly once with its full stack instead of
+// being silently swallowed mid-derivation.
+package guard
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a panic that escaped to an API boundary.
+type PanicError struct {
+	// Where names the boundary the panic escaped through
+	// ("faure.Eval", "verify.Ladder", ...).
+	Where string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+// Error renders the boundary and panic value; the stack is available
+// on the struct for logging.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("%s: internal panic: %v", e.Where, e.Value)
+}
+
+// Unwrap exposes a wrapped error panic value (panic(err)) to
+// errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recover is deferred at an API boundary with a named error return:
+//
+//	func (v *Verifier) Ladder(...) (verdict Verdict, err error) {
+//		defer guard.Recover("verify.Ladder", &err)
+//		...
+//	}
+//
+// If the function panics, Recover stores a *PanicError in *errp.
+// A nil *errp or a normal return is a no-op. Recover never overwrites
+// an error already set by the function body unless a panic occurred
+// (the panic is the more urgent report).
+func Recover(where string, errp *error) {
+	v := recover()
+	if v == nil || errp == nil {
+		return
+	}
+	*errp = &PanicError{Where: where, Value: v, Stack: debug.Stack()}
+}

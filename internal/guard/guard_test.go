@@ -1,0 +1,63 @@
+package guard
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("test.Boundary", &err)
+		panic("invariant violated")
+	}
+	err := f()
+	if err == nil {
+		t.Fatal("panic not converted")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("not a PanicError: %T", err)
+	}
+	if pe.Where != "test.Boundary" || pe.Value != "invariant violated" {
+		t.Fatalf("wrong record: %+v", pe)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "guard") {
+		t.Fatal("stack not captured")
+	}
+	if !strings.Contains(err.Error(), "test.Boundary: internal panic: invariant violated") {
+		t.Fatalf("unhelpful message: %q", err.Error())
+	}
+}
+
+func TestRecoverNoPanicKeepsError(t *testing.T) {
+	want := errors.New("ordinary failure")
+	f := func() (err error) {
+		defer Recover("test.Boundary", &err)
+		return want
+	}
+	if err := f(); err != want {
+		t.Fatalf("ordinary error clobbered: %v", err)
+	}
+}
+
+func TestRecoverNoPanicNoError(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("test.Boundary", &err)
+		return nil
+	}
+	if err := f(); err != nil {
+		t.Fatalf("spurious error: %v", err)
+	}
+}
+
+func TestUnwrapErrorPanic(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	f := func() (err error) {
+		defer Recover("test.Boundary", &err)
+		panic(sentinel)
+	}
+	if err := f(); !errors.Is(err, sentinel) {
+		t.Fatalf("error panic value not unwrapped: %v", err)
+	}
+}

@@ -1,12 +1,16 @@
 package minisql
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"time"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 	"faure/internal/relstore"
 	"faure/internal/solver"
 )
@@ -18,6 +22,22 @@ type Options struct {
 	// MaxLoopIterations bounds LOOP blocks; 0 means the default
 	// (100000).
 	MaxLoopIterations int
+	// Context cancels execution; it is polled between statements and
+	// LOOP passes. Nil means background.
+	Context context.Context
+	// Budget is the live resource tracker the run charges (solver
+	// steps, inserted tuples, wall clock); nil disables accounting.
+	Budget *budget.B
+}
+
+func (o Options) tracker() *budget.B {
+	if o.Budget != nil {
+		return o.Budget
+	}
+	if o.Context != nil {
+		return budget.New(o.Context, budget.Limits{})
+	}
+	return nil
 }
 
 func (o Options) maxIters() int {
@@ -35,6 +55,10 @@ type Stats struct {
 	Inserted   int // new tuples inserted (after dedup)
 	Deleted    int // tuples removed by DELETE ... WHERE UNSAT
 	Iterations int // LOOP passes executed
+	// Truncated is non-nil when a budget stopped the script early; the
+	// returned database then reflects only the statements (and LOOP
+	// passes) that completed.
+	Truncated *budget.Exceeded
 }
 
 // Run executes the script against a copy of the database and returns
@@ -44,10 +68,12 @@ func Run(script *Script, db *ctable.Database, opts Options) (*ctable.Database, *
 		store: relstore.FromDatabase(db),
 		sol:   solver.New(db.Doms),
 		opts:  opts,
+		bud:   opts.tracker(),
 		seen:  map[string]map[[2]uint64]struct{}{},
 		attrs: map[string][]string{},
 		db:    db,
 	}
+	ex.sol.SetBudget(ex.bud)
 	for name, t := range db.Tables {
 		ex.attrs[name] = t.Schema.Attrs
 		seen := map[[2]uint64]struct{}{}
@@ -58,7 +84,26 @@ func Run(script *Script, db *ctable.Database, opts Options) (*ctable.Database, *
 	}
 	start := time.Now()
 	for _, st := range script.Stmts {
+		if err := ex.bud.Check("statement"); err != nil {
+			ex.stats.Truncated, _ = budget.As(err)
+			break
+		}
 		if err := ex.exec(st); err != nil {
+			// A budget trip mid-statement degrades to a truncated
+			// result; anything else is a hard error. Raw context
+			// sentinels (from injected faults) count as cancellation.
+			if ex2, ok := budget.As(err); ok {
+				ex.stats.Truncated = ex2
+				break
+			}
+			if errors.Is(err, context.Canceled) {
+				ex.stats.Truncated = &budget.Exceeded{Kind: budget.Canceled}
+				break
+			}
+			if errors.Is(err, context.DeadlineExceeded) {
+				ex.stats.Truncated = &budget.Exceeded{Kind: budget.Deadline}
+				break
+			}
 			return nil, nil, err
 		}
 	}
@@ -75,6 +120,7 @@ type executor struct {
 	store *relstore.Store
 	sol   *solver.Solver
 	opts  Options
+	bud   *budget.B
 	// seen dedups per table by a 128-bit hash of the tuple key, so
 	// large runs do not retain millions of key strings.
 	seen  map[string]map[[2]uint64]struct{}
@@ -112,6 +158,14 @@ func (ex *executor) exec(st Stmt) error {
 		for iter := 0; ; iter++ {
 			if iter >= ex.opts.maxIters() {
 				return fmt.Errorf("minisql: LOOP did not reach a fixpoint within %d iterations", ex.opts.maxIters())
+			}
+			if faultinject.Armed() {
+				if err := faultinject.Fire(faultinject.MinisqlLoop); err != nil {
+					return err
+				}
+			}
+			if err := ex.bud.Check(fmt.Sprintf("LOOP pass %d", iter)); err != nil {
+				return err
 			}
 			ex.stats.Iterations++
 			inserted := 0
@@ -174,6 +228,9 @@ func (ex *executor) insert(table string, rel *relstore.Relation, tp ctable.Tuple
 		return nil
 	}
 	seen[key] = struct{}{}
+	if err := ex.bud.AddTuples(1, "table "+table); err != nil {
+		return err
+	}
 	if err := rel.Insert(tp); err != nil {
 		return err
 	}

@@ -1,31 +1,90 @@
-// Package obsflag binds the observability command-line flags shared by
-// the faure CLIs: -metrics selects a report format (text or json,
-// written to stderr on exit) and -debug-addr serves the live
-// pprof/expvar/metrics endpoint while the command runs.
+// Package obsflag binds the cross-cutting command-line flags shared by
+// the faure CLIs: observability (-metrics selects a report format,
+// text or json, written to stderr on exit; -debug-addr serves the live
+// pprof/expvar/metrics endpoint while the command runs) and resource
+// governance (-timeout, -max-solver-steps, -max-tuples build one
+// shared budget tracker for the whole run).
 package obsflag
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"time"
 
+	"faure/internal/budget"
 	"faure/internal/obs"
 )
 
-// Flags holds the parsed observability flags and their runtime state.
+// Exit codes shared by the faure commands, so scripts can tell a
+// decided run from one that degraded to Unknown because a budget
+// tripped, and both from a real failure.
+const (
+	// ExitDecided: the command completed (verification decided, or the
+	// evaluation ran to fixpoint).
+	ExitDecided = 0
+	// ExitError: a real error (bad input, internal failure).
+	ExitError = 1
+	// ExitUsage: bad command line.
+	ExitUsage = 2
+	// ExitUnknownBudget: a resource budget tripped; the output is the
+	// partial result / an Unknown verdict, not garbage and not an error.
+	ExitUnknownBudget = 3
+)
+
+// ExitCode maps a command's error to the exit code contract above.
+func ExitCode(err error) int {
+	switch _, budgeted := budget.As(err); {
+	case err == nil:
+		return ExitDecided
+	case budgeted:
+		return ExitUnknownBudget
+	default:
+		return ExitError
+	}
+}
+
+// Flags holds the parsed cross-cutting flags and their runtime state.
 type Flags struct {
 	metrics   *string
 	debugAddr *string
+	timeout   *time.Duration
+	maxSteps  *int64
+	maxTuples *int64
 	reg       *obs.Registry
 	srv       *obs.DebugServer
+	bud       *budget.B
+	budBuilt  bool
 }
 
-// Register binds -metrics and -debug-addr on the flag set.
+// Register binds the shared flags on the flag set.
 func Register(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	f.metrics = fs.String("metrics", "", "print collected metrics on exit: text or json")
 	f.debugAddr = fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	f.timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited); exceeding it degrades to a partial result and exit code 3")
+	f.maxSteps = fs.Int64("max-solver-steps", 0, "solver search-step budget (0 = unlimited)")
+	f.maxTuples = fs.Int64("max-tuples", 0, "derived-tuple budget (0 = unlimited)")
 	return f
+}
+
+// Limits returns the budget limits the flags request (zero fields are
+// unlimited).
+func (f *Flags) Limits() budget.Limits {
+	return budget.Limits{Timeout: *f.timeout, SolverSteps: *f.maxSteps, Tuples: *f.maxTuples}
+}
+
+// Budget returns the run's shared budget tracker, built once on first
+// call — hand the same value to every layer so the limits govern the
+// run as a whole. Nil (no checks at all) when no budget flag was given.
+func (f *Flags) Budget() *budget.B {
+	if !f.budBuilt {
+		f.budBuilt = true
+		if lim := f.Limits(); lim != (budget.Limits{}) {
+			f.bud = budget.New(nil, lim)
+		}
+	}
+	return f.bud
 }
 
 // Init validates the flags and, when observation is requested, creates

@@ -13,6 +13,7 @@ import (
 
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 )
 
 // Relation is an indexed c-table.
@@ -55,6 +56,11 @@ func constKey(t cond.Term) string { return t.String() }
 
 // Insert adds a tuple and indexes its columns.
 func (r *Relation) Insert(tp ctable.Tuple) error {
+	if faultinject.Armed() {
+		if err := faultinject.Fire(faultinject.RelstoreInsert); err != nil {
+			return err
+		}
+	}
 	if len(tp.Values) != r.Arity {
 		return fmt.Errorf("relstore: arity mismatch inserting into %s: got %d, want %d", r.Name, len(tp.Values), r.Arity)
 	}

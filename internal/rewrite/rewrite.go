@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
@@ -124,11 +125,22 @@ func (u Update) Validate(db *ctable.Database) error {
 // t ≠ d (the c-table encoding of removal, which stays correct when t
 // or d contain c-variables).
 func Apply(db *ctable.Database, u Update) (*ctable.Database, error) {
+	return ApplyBudgeted(db, u, nil)
+}
+
+// ApplyBudgeted is Apply under a resource budget: cancellation and the
+// wall clock are polled per deletion change (each rewrites a whole
+// relation, the coarse unit of work here). A nil budget disables the
+// checks.
+func ApplyBudgeted(db *ctable.Database, u Update, bud *budget.B) (*ctable.Database, error) {
 	if err := u.Validate(db); err != nil {
 		return nil, err
 	}
 	out := db.Clone()
 	for _, c := range u.Deletes {
+		if err := bud.Check("update delete " + c.Pred); err != nil {
+			return nil, err
+		}
 		tbl := out.Table(c.Pred)
 		if tbl == nil {
 			continue
@@ -184,6 +196,14 @@ func RewriteConstraint(c *faurelog.Program, u Update) (*faurelog.Program, error)
 // insert/delete counts and the per-relation chain-length distribution
 // (1 copy stage + one filter stage per deleted tuple).
 func RewriteConstraintObserved(c *faurelog.Program, u Update, o obs.Observer) (*faurelog.Program, error) {
+	return RewriteConstraintWith(c, u, o, nil)
+}
+
+// RewriteConstraintWith is RewriteConstraintObserved under a resource
+// budget: cancellation and the wall clock are polled once per rewritten
+// relation chain (the construction itself is linear in the update and
+// program sizes). A nil budget disables the checks.
+func RewriteConstraintWith(c *faurelog.Program, u Update, o obs.Observer, bud *budget.B) (*faurelog.Program, error) {
 	obsOn := o != nil && o.Enabled()
 	ob := obs.OrNop(o)
 	var span obs.Span
@@ -225,6 +245,9 @@ func RewriteConstraintObserved(c *faurelog.Program, u Update, o obs.Observer) (*
 		return name
 	}
 	for pred, k := range arity {
+		if err := bud.Check("rewrite chain for " + pred); err != nil {
+			return nil, err
+		}
 		for _, ch := range append(u.InsertsFor(pred), u.DeletesFor(pred)...) {
 			if len(ch.Values) != k {
 				return nil, fmt.Errorf("rewrite: change %v has arity %d, constraint uses %s with arity %d", ch, len(ch.Values), pred, k)

@@ -29,10 +29,17 @@ import (
 	"strconv"
 	"strings"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
 	"faure/internal/solver"
 )
+
+// checkEvery is how many prefixes Generate / ForwardingDatabase
+// process between budget polls: coarse enough to stay off the hot
+// path, fine enough that a deadline stops a 100k-prefix sweep within
+// milliseconds of expiring.
+const checkEvery = 256
 
 // Config tunes the generator. The zero value is completed by
 // (*Config).withDefaults.
@@ -55,6 +62,12 @@ type Config struct {
 	TransitASes []int
 	// Seed makes the workload reproducible.
 	Seed int64
+	// Budget optionally bounds generation and compilation: the wall
+	// clock and cancellation are polled every few hundred prefixes, and
+	// ForwardingDatabase charges each emitted tuple against the tuple
+	// budget. A trip is not an error — the partial RIB (or database) is
+	// returned with RIB.Truncated set. Nil disables every check.
+	Budget *budget.B
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +100,10 @@ type Entry struct {
 type RIB struct {
 	Entries []Entry
 	Config  Config
+	// Truncated is set when Config.Budget tripped during Generate or
+	// ForwardingDatabase; Entries (or the returned database) then hold
+	// the prefixes processed before the trip.
+	Truncated *budget.Exceeded
 }
 
 // VarPool returns the names of the n link-state variables: x, y, z,
@@ -134,6 +151,12 @@ func Generate(cfg Config) *RIB {
 	rnd := rand.New(rand.NewSource(cfg.Seed))
 	r := &RIB{Config: cfg}
 	for i := 0; i < cfg.Prefixes; i++ {
+		if i%checkEvery == 0 {
+			if err := cfg.Budget.Check(fmt.Sprintf("rib generation, prefix %d", i)); err != nil {
+				r.Truncated, _ = budget.As(err)
+				return r
+			}
+		}
 		prefix := fmt.Sprintf("10.%d.%d.0/24", (i/250)%250, i%250)
 		origin := cfg.TransitASes[0] + 10 + rnd.Intn(cfg.ASCount)
 		paths := make([][]int, 0, cfg.PathsPerPrefix)
@@ -266,14 +289,25 @@ func (r *RIB) ForwardingDatabase() *ctable.Database {
 	}
 	tbl := ctable.NewTable("fwd", "prefix", "from", "to")
 	rnd := rand.New(rand.NewSource(cfg.Seed + 1))
-	for _, e := range r.Entries {
+	for ei, e := range r.Entries {
+		if ei%checkEvery == 0 {
+			if err := cfg.Budget.Check(fmt.Sprintf("forwarding compilation, prefix %d", ei)); err != nil {
+				r.Truncated, _ = budget.As(err)
+				break
+			}
+		}
 		guards := drawGuards(rnd, pool, len(e.Paths)-1)
+		before := tbl.Len()
 		for pi, path := range e.Paths {
 			g := guardCondition(guards, pi)
 			pfx := cond.Str(e.Prefix)
 			for h := 0; h+1 < len(path); h++ {
 				tbl.MustInsert(g, pfx, cond.Int(int64(path[h])), cond.Int(int64(path[h+1])))
 			}
+		}
+		if err := cfg.Budget.AddTuples(int64(tbl.Len()-before), "fwd c-table"); err != nil {
+			r.Truncated, _ = budget.As(err)
+			break
 		}
 	}
 	db.AddTable(tbl)

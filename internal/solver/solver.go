@@ -38,7 +38,9 @@ import (
 	"sort"
 	"time"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
+	"faure/internal/faultinject"
 	"faure/internal/obs"
 )
 
@@ -89,6 +91,9 @@ type Solver struct {
 	// pays one branch and no clock reads.
 	o     obs.Observer
 	obsOn bool
+	// bud charges every search node (enumeration and DPLL) to a shared
+	// step budget; nil disables accounting.
+	bud *budget.B
 }
 
 type satResult struct {
@@ -111,6 +116,14 @@ func (s *Solver) SetObserver(o obs.Observer) {
 	s.obsOn = o != nil && o.Enabled()
 }
 
+// SetBudget charges this solver's search nodes to b; each node in the
+// finite-domain enumeration and the residual DPLL split costs one
+// step. A nil b (the default) disables accounting. A budget trip
+// surfaces as a *budget.Exceeded error from Satisfiable/Implies; the
+// error is sticky, so a tripped solver keeps refusing until it is
+// handed a fresh budget.
+func (s *Solver) SetBudget(b *budget.B) { s.bud = b }
+
 // SetCacheLimit bounds the memo cache; 0 disables memoisation (the
 // ablation benches use this to quantify what the cache buys).
 func (s *Solver) SetCacheLimit(n int) {
@@ -130,6 +143,11 @@ func (s *Solver) ResetStats() { s.stats = Stats{} }
 // respecting their domains, makes f true.
 func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 	s.stats.SatCalls++
+	if faultinject.Armed() {
+		if err := faultinject.Fire(faultinject.SolverSat); err != nil {
+			return false, err
+		}
+	}
 	switch f.Kind {
 	case cond.FTrue:
 		return true, nil
@@ -151,7 +169,10 @@ func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 		return r.sat, r.err
 	}
 	sat, err := s.enumerate(f)
-	if len(s.satCache) < s.cacheLimit {
+	// A budget trip is a property of this run, not of the formula:
+	// caching it would poison the memo for a later run under a fresh
+	// budget.
+	if _, budgetErr := budget.As(err); !budgetErr && len(s.satCache) < s.cacheLimit {
 		s.satCache[f.Key()] = satResult{sat, err}
 	}
 	if s.obsOn {
@@ -197,6 +218,9 @@ func (s *Solver) Equivalent(f, g *cond.Formula) (bool, error) {
 // the residual DPLL procedure.
 func (s *Solver) enumerate(f *cond.Formula) (bool, error) {
 	s.stats.EnumNodes++
+	if err := s.bud.SolverStep(); err != nil {
+		return false, err
+	}
 	switch f.Kind {
 	case cond.FTrue:
 		return true, nil
@@ -212,6 +236,11 @@ func (s *Solver) enumerate(f *cond.Formula) (bool, error) {
 		g := f.Subst(map[string]cond.Term{name: v})
 		sat, err := s.enumerate(g)
 		if err != nil {
+			// Budget exhaustion aborts the whole search: with branches
+			// unexplored the answer would be unsound either way.
+			if _, ok := budget.As(err); ok {
+				return false, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -253,6 +282,9 @@ type literal struct {
 // branch against the equality/order theory.
 func (s *Solver) satResidual(f *cond.Formula, lits []literal) (bool, error) {
 	s.stats.DPLLNodes++
+	if err := s.bud.SolverStep(); err != nil {
+		return false, err
+	}
 	switch f.Kind {
 	case cond.FFalse:
 		return false, nil
@@ -284,6 +316,9 @@ func (s *Solver) satResidual(f *cond.Formula, lits []literal) (bool, error) {
 		}
 		sat, err := s.satResidual(g, branch)
 		if err != nil {
+			if _, ok := budget.As(err); ok {
+				return false, err
+			}
 			if firstErr == nil {
 				firstErr = err
 			}

@@ -1,0 +1,133 @@
+package verify
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"faure/internal/budget"
+	"faure/internal/containment"
+	"faure/internal/guard"
+	"faure/internal/network"
+	"faure/internal/obs"
+)
+
+// TestLadderBudgetDegradesToUnknown: a verifier whose shared budget
+// trips mid-ladder must come back with Unknown, a populated Exhausted
+// record and the structured reason — never a hard error — while the
+// same ladder with no budget still decides. That is the acceptance
+// contract: budgets are opt-in and decision-preserving, and
+// Unknown-by-budget is distinguishable from Unknown-by-information.
+func TestLadderBudgetDegradesToUnknown(t *testing.T) {
+	known := []containment.Constraint{network.Clb(), network.Cs()}
+	u := network.ListingFourUpdate()
+	db := network.EnterpriseState(false)
+
+	// Control: without a budget the ladder decides T2 at category (ii).
+	free := enterpriseVerifier()
+	rep, level, err := free.Ladder(network.T2(), known, &u, db)
+	if err != nil {
+		t.Fatalf("unbudgeted Ladder: %v", err)
+	}
+	if rep.Verdict != Holds || rep.Exhausted != nil {
+		t.Fatalf("unbudgeted Ladder: verdict %v at %s, exhausted %v; want holds", rep.Verdict, level, rep.Exhausted)
+	}
+
+	cases := []struct {
+		name string
+		lim  budget.Limits
+		kind budget.Kind
+	}{
+		{"solver-steps", budget.Limits{SolverSteps: 1}, budget.SolverSteps},
+		{"deadline", budget.Limits{Timeout: time.Nanosecond}, budget.Deadline},
+		{"tuples", budget.Limits{Tuples: 1}, budget.Tuples},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := enterpriseVerifier()
+			v.Budget = budget.New(nil, tc.lim)
+			rep, _, err := v.Ladder(network.T2(), known, &u, db)
+			if err != nil {
+				t.Fatalf("budgeted Ladder returned a hard error: %v", err)
+			}
+			if rep.Verdict != Unknown {
+				t.Fatalf("verdict = %v, want Unknown", rep.Verdict)
+			}
+			if rep.Exhausted == nil {
+				t.Fatal("Report.Exhausted not set; Unknown-by-budget must be marked")
+			}
+			if rep.Exhausted.Kind != tc.kind {
+				t.Fatalf("Exhausted.Kind = %q, want %q", rep.Exhausted.Kind, tc.kind)
+			}
+			if rep.Reason == "" || !strings.Contains(rep.Reason, "exhausted") && !strings.Contains(rep.Reason, "exceeded") {
+				t.Fatalf("Reason = %q, want a structured budget reason", rep.Reason)
+			}
+		})
+	}
+}
+
+// TestLadderBudgetBounded: even on the full §5 scenario, a canceled
+// budget bounds the ladder's wall-clock, and the Unknown arrives
+// quickly rather than after the full analysis.
+func TestLadderBudgetBounded(t *testing.T) {
+	v := enterpriseVerifier()
+	v.Budget = budget.New(nil, budget.Limits{Timeout: 50 * time.Millisecond})
+
+	start := time.Now()
+	rep, _, err := v.Ladder(network.T2(), []containment.Constraint{network.Clb(), network.Cs()}, nil, network.EnterpriseState(false))
+	if err != nil {
+		t.Fatalf("Ladder: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("budgeted Ladder took %v; the deadline did not bound it", elapsed)
+	}
+	// Fast machines may decide inside 50ms; if the budget fired, the
+	// report must be coherent.
+	if rep.Exhausted != nil && rep.Verdict != Unknown {
+		t.Fatalf("Exhausted set but verdict is %v", rep.Verdict)
+	}
+}
+
+// TestUnknownReasonCounter: a budget degradation must be visible in
+// the obs registry under verify.unknown_reason.budget-<kind>, so
+// operators can tell resource-starved Unknowns from informational ones.
+func TestUnknownReasonCounter(t *testing.T) {
+	reg := obs.NewRegistry()
+	v := enterpriseVerifier()
+	v.Obs = reg
+	v.Budget = budget.New(nil, budget.Limits{SolverSteps: 1})
+
+	rep, _, err := v.Ladder(network.T2(), []containment.Constraint{network.Clb(), network.Cs()}, nil, nil)
+	if err != nil {
+		t.Fatalf("Ladder: %v", err)
+	}
+	if rep.Verdict != Unknown || rep.Exhausted == nil {
+		t.Fatalf("verdict %v, exhausted %v; want Unknown by budget", rep.Verdict, rep.Exhausted)
+	}
+	snap := reg.Snapshot()
+	key := "verify.unknown_reason.budget-" + string(rep.Exhausted.Kind)
+	if snap.Counters[key] == 0 {
+		t.Fatalf("counter %q not incremented; counters: %v", key, snap.Counters)
+	}
+}
+
+// TestLadderRecoversInternalPanic: an internal invariant violation —
+// here a constraint whose Program is nil, which makes flattening
+// dereference nil — must surface as a *guard.PanicError from the
+// façade boundary, not crash the test process.
+func TestLadderRecoversInternalPanic(t *testing.T) {
+	v := enterpriseVerifier()
+	bad := containment.Constraint{Name: "broken"} // nil Program: invariant violation
+	_, _, err := v.Ladder(bad, []containment.Constraint{network.Clb()}, nil, nil)
+	if err == nil {
+		t.Fatal("nil-Program constraint did not error")
+	}
+	var pe *guard.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *guard.PanicError", err, err)
+	}
+	if pe.Where == "" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError missing context: where=%q stack=%d bytes", pe.Where, len(pe.Stack))
+	}
+}

@@ -19,10 +19,12 @@ import (
 	"fmt"
 	"strings"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/containment"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/guard"
 	"faure/internal/obs"
 	"faure/internal/rewrite"
 	"faure/internal/solver"
@@ -68,6 +70,12 @@ type Report struct {
 	// ViolationCond, for Conditional direct evaluation, is the
 	// condition under which the constraint is violated.
 	ViolationCond *cond.Formula
+	// Exhausted, set only on Unknown verdicts, records the resource
+	// budget whose exhaustion forced the degradation — distinguishing
+	// Unknown-by-budget ("the verifier ran out of resources") from
+	// Unknown-by-information ("the available information cannot decide
+	// this"), which Reason alone conflates.
+	Exhausted *budget.Exceeded
 }
 
 // Verifier bundles the schema knowledge shared by all tests.
@@ -84,6 +92,14 @@ type Verifier struct {
 	// containment checks, evaluations, and solvers report through it
 	// too. Nil disables observation.
 	Obs obs.Observer
+	// Budget, when set, is the live resource tracker every test drains
+	// — the subsumption mappings, the inner fauré-log evaluations, and
+	// the solvers all charge the same budget, so "10k solver steps"
+	// bounds the whole ladder, not each phase. Exhaustion is never an
+	// error: the affected test reports Unknown with Report.Exhausted
+	// set and the structured reason in Report.Reason. Nil disables
+	// governance.
+	Budget *budget.B
 }
 
 // observer returns the effective observer and whether it is live.
@@ -105,10 +121,32 @@ func (v *Verifier) countVerdict(test string, verdict Verdict, unknownClass strin
 	o.Count("verify."+test+".runs", 1)
 }
 
+// degraded converts a budget trip (or a truncated evaluation) into an
+// Unknown report with the structured reason — "solver step budget
+// (10000) exhausted at stratum 3" — counted under
+// verify.unknown_reason.budget-<kind> and attached to the span. A
+// non-budget error passes through as (report{}, err, false).
+func (v *Verifier) degraded(test string, span obs.Span, err error) (Report, error, bool) {
+	ex, ok := budget.As(err)
+	if !ok {
+		return Report{}, err, false
+	}
+	v.countVerdict(test, Unknown, "budget-"+string(ex.Kind))
+	if _, on := v.observer(); on && span != nil {
+		span.SetAttrs(obs.String("exhausted", string(ex.Kind)))
+	}
+	return Report{
+		Verdict:   Unknown,
+		Reason:    ex.Error(),
+		Exhausted: ex,
+	}, nil, true
+}
+
 // CategoryI runs the weakest test: only the constraint definitions are
 // visible. It answers Holds when the known constraints subsume the
 // target and Unknown otherwise.
-func (v *Verifier) CategoryI(target containment.Constraint, known []containment.Constraint) (Report, error) {
+func (v *Verifier) CategoryI(target containment.Constraint, known []containment.Constraint) (rep Report, err error) {
+	defer guard.Recover("verify.CategoryI", &err)
 	o, on := v.observer()
 	var span obs.Span
 	if on {
@@ -123,8 +161,11 @@ func (v *Verifier) CategoryI(target containment.Constraint, known []containment.
 		v.countVerdict("category_i", Unknown, "outside-fragment")
 		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
 	}
-	res, err := containment.SubsumesObserved(target, known, v.Doms, v.Schema, v.Obs)
+	res, err := containment.SubsumesWith(target, known, v.Doms, v.Schema, containment.Opts{Obs: v.Obs, Budget: v.Budget})
 	if err != nil {
+		if rep, err, ok := v.degraded("category_i", span, err); ok {
+			return rep, err
+		}
 		return Report{}, err
 	}
 	if res.Contained {
@@ -138,7 +179,8 @@ func (v *Verifier) CategoryI(target containment.Constraint, known []containment.
 // CategoryII runs the stronger test: the update is also visible. It
 // answers Holds when the target, rewritten to reflect the update, is
 // subsumed by the constraints known to hold before the update.
-func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, known []containment.Constraint) (Report, error) {
+func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, known []containment.Constraint) (rep Report, err error) {
+	defer guard.Recover("verify.CategoryII", &err)
 	o, on := v.observer()
 	var span obs.Span
 	if on {
@@ -150,8 +192,11 @@ func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, k
 		v.countVerdict("category_ii", Unknown, "outside-fragment")
 		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
 	}
-	res, err := containment.SubsumesAfterUpdateObserved(target, u, known, v.Doms, v.Schema, v.Obs)
+	res, err := containment.SubsumesAfterUpdateWith(target, u, known, v.Doms, v.Schema, containment.Opts{Obs: v.Obs, Budget: v.Budget})
 	if err != nil {
+		if rep, err, ok := v.degraded("category_ii", span, err); ok {
+			return rep, err
+		}
 		return Report{}, err
 	}
 	if res.Contained {
@@ -166,16 +211,25 @@ func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, k
 // partial, i.e. c-table) state: Holds when no satisfiable panic is
 // derivable, Violated when panic is derivable in every world, and
 // Conditional with the violation condition otherwise.
-func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (Report, error) {
+func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (rep Report, err error) {
+	defer guard.Recover("verify.Direct", &err)
 	o, on := v.observer()
 	var span obs.Span
 	if on {
 		span = o.StartSpan("verify.direct", obs.String("target", target.Name))
 		defer span.End()
 	}
-	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Observer: v.Obs})
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Observer: v.Obs, Budget: v.Budget})
 	if err != nil {
 		return Report{}, err
+	}
+	if res.Truncated != nil {
+		// The panic derivation is incomplete: absence of panic in a
+		// truncated fixpoint proves nothing, so degrade to Unknown with
+		// the exhausted budget as the structured reason.
+		if rep, err, ok := v.degraded("direct", span, res.Truncated); ok {
+			return rep, err
+		}
 	}
 	violation := cond.False()
 	if tbl := res.DB.Table(containment.PanicPred); tbl != nil {
@@ -184,11 +238,15 @@ func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (R
 		}
 	}
 	s := solver.New(db.Doms)
+	s.SetBudget(v.Budget)
 	if on {
 		s.SetObserver(v.Obs)
 	}
 	sat, err := s.Satisfiable(violation)
 	if err != nil {
+		if rep, err, ok := v.degraded("direct", span, err); ok {
+			return rep, err
+		}
 		return Report{}, err
 	}
 	if !sat {
@@ -197,6 +255,9 @@ func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (R
 	}
 	valid, err := s.Valid(violation)
 	if err != nil {
+		if rep, err, ok := v.degraded("direct", span, err); ok {
+			return rep, err
+		}
 		return Report{}, err
 	}
 	if valid {
@@ -216,9 +277,13 @@ func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (R
 // is validated against. It also demonstrates the Listing 4 rewrite:
 // the same verdict is obtained by evaluating the rewritten constraint
 // on the pre-update state.
-func (v *Verifier) DirectAfterUpdate(target containment.Constraint, u rewrite.Update, db *ctable.Database) (Report, error) {
-	post, err := rewrite.Apply(db, u)
+func (v *Verifier) DirectAfterUpdate(target containment.Constraint, u rewrite.Update, db *ctable.Database) (rep Report, err error) {
+	defer guard.Recover("verify.DirectAfterUpdate", &err)
+	post, err := rewrite.ApplyBudgeted(db, u, v.Budget)
 	if err != nil {
+		if rep, err, ok := v.degraded("direct", nil, err); ok {
+			return rep, err
+		}
 		return Report{}, err
 	}
 	return v.Direct(target, post)
@@ -227,9 +292,13 @@ func (v *Verifier) DirectAfterUpdate(target containment.Constraint, u rewrite.Up
 // DirectViaRewrite evaluates the Listing 4 rewritten constraint C' on
 // the pre-update state; by construction the verdict equals
 // DirectAfterUpdate's.
-func (v *Verifier) DirectViaRewrite(target containment.Constraint, u rewrite.Update, db *ctable.Database) (Report, error) {
-	rewritten, err := rewrite.RewriteConstraintObserved(target.Program, u, v.Obs)
+func (v *Verifier) DirectViaRewrite(target containment.Constraint, u rewrite.Update, db *ctable.Database) (rep Report, err error) {
+	defer guard.Recover("verify.DirectViaRewrite", &err)
+	rewritten, err := rewrite.RewriteConstraintWith(target.Program, u, v.Obs, v.Budget)
 	if err != nil {
+		if rep, err, ok := v.degraded("direct", nil, err); ok {
+			return rep, err
+		}
 		return Report{}, err
 	}
 	c := containment.Constraint{Name: target.Name + "'", Program: rewritten}
@@ -240,7 +309,8 @@ func (v *Verifier) DirectViaRewrite(target containment.Constraint, u rewrite.Upd
 // (i), then category (ii) if an update is supplied, then direct
 // evaluation if a state is supplied — returning the first decisive
 // report, each annotated with the level that decided it.
-func (v *Verifier) Ladder(target containment.Constraint, known []containment.Constraint, u *rewrite.Update, db *ctable.Database) (Report, string, error) {
+func (v *Verifier) Ladder(target containment.Constraint, known []containment.Constraint, u *rewrite.Update, db *ctable.Database) (rep Report, level string, err error) {
+	defer guard.Recover("verify.Ladder", &err)
 	o, on := v.observer()
 	var span obs.Span
 	if on {
@@ -254,11 +324,16 @@ func (v *Verifier) Ladder(target containment.Constraint, known []containment.Con
 		}
 		return rep, level, nil
 	}
-	rep, err := v.CategoryI(target, known)
+	rep, err = v.CategoryI(target, known)
 	if err != nil {
 		return Report{}, "", err
 	}
 	if rep.Verdict != Unknown {
+		return decided(rep, "category-i")
+	}
+	if rep.Exhausted != nil {
+		// The budget is sticky: every stronger test would trip at its
+		// first checkpoint, so stop here with the structured reason.
 		return decided(rep, "category-i")
 	}
 	if u != nil {
@@ -267,6 +342,9 @@ func (v *Verifier) Ladder(target containment.Constraint, known []containment.Con
 			return Report{}, "", err
 		}
 		if rep.Verdict != Unknown {
+			return decided(rep, "category-ii")
+		}
+		if rep.Exhausted != nil {
 			return decided(rep, "category-ii")
 		}
 	}
@@ -299,17 +377,21 @@ func names(cs []containment.Constraint) string {
 // and returns the explanation tree of every satisfiable panic
 // derivation — why the constraint is (conditionally) violated on this
 // state. An empty slice means the constraint holds.
-func (v *Verifier) ExplainViolations(target containment.Constraint, db *ctable.Database) ([]*faurelog.Explanation, error) {
-	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Trace: true})
+func (v *Verifier) ExplainViolations(target containment.Constraint, db *ctable.Database) (out []*faurelog.Explanation, err error) {
+	defer guard.Recover("verify.ExplainViolations", &err)
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Trace: true, Budget: v.Budget})
 	if err != nil {
 		return nil, err
+	}
+	if res.Truncated != nil {
+		return nil, res.Truncated
 	}
 	tbl := res.DB.Table(containment.PanicPred)
 	if tbl == nil {
 		return nil, nil
 	}
 	s := solver.New(db.Doms)
-	var out []*faurelog.Explanation
+	s.SetBudget(v.Budget)
 	for _, tp := range tbl.Tuples {
 		sat, err := s.Satisfiable(tp.Condition())
 		if err != nil {

@@ -5,7 +5,10 @@ import (
 	"strings"
 	"time"
 
+	"faure/internal/budget"
+	"faure/internal/ctable"
 	"faure/internal/faurelog"
+	"faure/internal/guard"
 	"faure/internal/network"
 	"faure/internal/rib"
 )
@@ -84,6 +87,10 @@ func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 type Table4Result struct {
 	Prefixes int
 	Rows     []Table4Row // q4-q5, q6, q7, q8 in order
+	// Truncated is set when a budget (cfg.Options.Budget) tripped
+	// mid-sweep: Rows holds the queries that completed plus the partial
+	// row of the query that was cut short, and the run is not an error.
+	Truncated *budget.Exceeded
 }
 
 // RunTable4 regenerates one row group of the paper's Table 4: it
@@ -92,41 +99,70 @@ type Table4Result struct {
 // patterns q6 (2-link failure), q7 (pinned pair, nested over q6) and
 // q8 (at least one failure) over it, reporting per-phase times and
 // tuple counts.
-func RunTable4(cfg Table4Config) (*Table4Result, error) {
+func RunTable4(cfg Table4Config) (result *Table4Result, err error) {
+	defer guard.Recover("faure.RunTable4", &err)
 	cfg = cfg.withDefaults()
-	r := rib.Generate(rib.Config{Prefixes: cfg.Prefixes, PoolSize: cfg.PoolSize, Seed: cfg.Seed})
-	db := r.ForwardingDatabase()
-
+	r := rib.Generate(rib.Config{Prefixes: cfg.Prefixes, PoolSize: cfg.PoolSize, Seed: cfg.Seed,
+		Budget: cfg.Options.Budget})
 	out := &Table4Result{Prefixes: cfg.Prefixes}
+	if r.Truncated != nil {
+		out.Truncated = r.Truncated
+		return out, nil
+	}
+	db := r.ForwardingDatabase()
+	if r.Truncated != nil {
+		out.Truncated = r.Truncated
+		return out, nil
+	}
+
+	// runQuery evaluates one query of the sweep; a budget trip records
+	// the partial row and stops the sweep without erroring.
+	runQuery := func(name string, prog *faurelog.Program, in *ctable.Database, table string) (*faurelog.Result, bool, error) {
+		res, err := faurelog.Eval(prog, in, cfg.Options)
+		if err != nil {
+			return nil, false, fmt.Errorf("%s: %w", name, err)
+		}
+		tuples := 0
+		if t := res.DB.Table(table); t != nil {
+			tuples = t.Len()
+		}
+		out.Rows = append(out.Rows, rowFromStats(name, res.Stats, tuples))
+		if res.Truncated != nil {
+			out.Truncated = res.Truncated
+			return res, false, nil
+		}
+		return res, true, nil
+	}
 
 	// q4–q5: all-pairs reachability.
-	reachRes, err := faurelog.Eval(network.ReachabilityProgram(), db, cfg.Options)
+	reachRes, ok, err := runQuery("q4-q5", network.ReachabilityProgram(), db, "reach")
 	if err != nil {
-		return nil, fmt.Errorf("q4-q5: %w", err)
+		return nil, err
 	}
-	reach := reachRes.DB.Table("reach")
-	out.Rows = append(out.Rows, rowFromStats("q4-q5", reachRes.Stats, reach.Len()))
+	if !ok {
+		return out, nil
+	}
 
 	// q6: reachability under the 2-link-failure pattern.
-	res6, err := faurelog.Eval(network.TwoLinkFailureProgram("x", "y", "z"), reachRes.DB, cfg.Options)
+	res6, ok, err := runQuery("q6", network.TwoLinkFailureProgram("x", "y", "z"), reachRes.DB, "t1")
 	if err != nil {
-		return nil, fmt.Errorf("q6: %w", err)
+		return nil, err
 	}
-	out.Rows = append(out.Rows, rowFromStats("q6", res6.Stats, res6.DB.Table("t1").Len()))
+	if !ok {
+		return out, nil
+	}
 
 	// q7: nested query over q6's output, pinned to one node pair.
-	res7, err := faurelog.Eval(network.PinnedPairFailureProgram(cfg.Q7Src, cfg.Q7Dst, "y"), res6.DB, cfg.Options)
-	if err != nil {
-		return nil, fmt.Errorf("q7: %w", err)
+	if _, ok, err = runQuery("q7", network.PinnedPairFailureProgram(cfg.Q7Src, cfg.Q7Dst, "y"), res6.DB, "t2"); err != nil {
+		return nil, err
+	} else if !ok {
+		return out, nil
 	}
-	out.Rows = append(out.Rows, rowFromStats("q7", res7.Stats, res7.DB.Table("t2").Len()))
 
 	// q8: at-least-one-failure from a pinned source.
-	res8, err := faurelog.Eval(network.AtLeastOneFailureProgram(cfg.Q8Src, "y", "z"), reachRes.DB, cfg.Options)
-	if err != nil {
-		return nil, fmt.Errorf("q8: %w", err)
+	if _, _, err = runQuery("q8", network.AtLeastOneFailureProgram(cfg.Q8Src, "y", "z"), reachRes.DB, "t3"); err != nil {
+		return nil, err
 	}
-	out.Rows = append(out.Rows, rowFromStats("q8", res8.Stats, res8.DB.Table("t3").Len()))
 	return out, nil
 }
 
