@@ -49,7 +49,7 @@ func main() {
 		os.Exit(obsflag.ExitError)
 	}
 	err = run(os.Stdout, sizes, *seed, *pool, *ablate, *jsonOut, *outPath,
-		faure.Options{Observer: ob.Observer(), Budget: ob.Budget()})
+		faure.Options{Observer: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers()})
 	_ = ob.Close(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure-bench:", err)
@@ -81,8 +81,16 @@ type benchWorkload struct {
 	Derived    int     `json:"derived"`
 	Pruned     int     `json:"pruned"`
 	Absorbed   int     `json:"absorbed"`
-	SatCalls   int     `json:"sat_calls"`
-	Tuples     int     `json:"tuples"`
+	// AbsorbProbes counts absorption checks that fell through the
+	// syntactic fast path to a semantic solver probe.
+	AbsorbProbes int `json:"absorb_probes"`
+	SatCalls     int `json:"sat_calls"`
+	Tuples       int `json:"tuples"`
+	// Wall1WMS and Speedup are set when the sweep ran with -parallel
+	// N>1: the same workload's single-worker wall time and the ratio
+	// wall_1w_ms / wall_ms.
+	Wall1WMS float64 `json:"wall_1w_ms,omitempty"`
+	Speedup  float64 `json:"speedup,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -90,6 +98,9 @@ type benchReport struct {
 	Benchmark string `json:"benchmark"`
 	Seed      int64  `json:"seed"`
 	Pool      int    `json:"pool"`
+	// Workers is the evaluation worker count the sweep ran with (the
+	// -parallel flag; 1 = sequential).
+	Workers int `json:"workers"`
 	// Truncated names the budget that cut the sweep short ("" when the
 	// sweep completed); the workloads list then holds what finished.
 	Truncated string          `json:"truncated,omitempty"`
@@ -101,7 +112,14 @@ type benchReport struct {
 // stops the sweep, keeps the completed rows (printed and reported) and
 // surfaces as the returned budget error so main exits with code 3.
 func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, outPath string, opts faure.Options) error {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	var results []*faure.Table4Result
+	// baselines holds the matching single-worker run of each sweep
+	// entry when -parallel N>1, for the per-workload speedup columns.
+	var baselines []*faure.Table4Result
 	var truncated *faure.BudgetExceeded
 	for _, n := range sizes {
 		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: seed, PoolSize: pool, Options: opts})
@@ -113,9 +131,31 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 			truncated = res.Truncated
 			break
 		}
+		if workers > 1 {
+			seqOpts := opts
+			seqOpts.Workers = 1
+			base, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: seed, PoolSize: pool, Options: seqOpts})
+			if err != nil {
+				return err
+			}
+			baselines = append(baselines, base)
+		}
 	}
 	fmt.Fprintln(w, "Table 4: running time of reachability analysis (synthetic RIB workload)")
 	fmt.Fprint(w, faure.FormatTable4(results))
+	if workers > 1 {
+		fmt.Fprintf(w, "parallel evaluation: %d workers (speedup vs 1 worker)\n", workers)
+		for i, base := range baselines {
+			for j, row := range results[i].Rows {
+				b := base.Rows[j]
+				if row.Wall > 0 {
+					fmt.Fprintf(w, "  %-6s prefixes=%-8d wall=%v wall_1w=%v speedup=%.2fx\n",
+						row.Query, results[i].Prefixes, row.Wall, b.Wall,
+						float64(b.Wall)/float64(row.Wall))
+				}
+			}
+		}
+	}
 	if truncated != nil {
 		fmt.Fprintf(w, "(sweep truncated: %v)\n", truncated)
 		ablate = false
@@ -149,7 +189,7 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 	}
 
 	if jsonOut {
-		report := buildReport(results, seed, pool)
+		report := buildReport(results, baselines, seed, pool, workers)
 		if truncated != nil {
 			report.Truncated = truncated.Error()
 		}
@@ -165,23 +205,34 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 }
 
 // buildReport converts the sweep results into the JSON document.
-func buildReport(results []*faure.Table4Result, seed int64, pool int) benchReport {
-	report := benchReport{Benchmark: "table4", Seed: seed, Pool: pool}
-	for _, res := range results {
-		for _, row := range res.Rows {
-			report.Workloads = append(report.Workloads, benchWorkload{
-				Name:       row.Query,
-				Prefixes:   res.Prefixes,
-				WallMS:     float64(row.Wall.Microseconds()) / 1000,
-				SQLMS:      float64(row.SQL.Microseconds()) / 1000,
-				SolverMS:   float64(row.Solver.Microseconds()) / 1000,
-				Iterations: row.Iterations,
-				Derived:    row.Derived,
-				Pruned:     row.Pruned,
-				Absorbed:   row.Absorbed,
-				SatCalls:   row.SatCalls,
-				Tuples:     row.Tuples,
-			})
+// baselines, when non-empty, holds the single-worker counterpart of
+// each result group for the speedup columns.
+func buildReport(results []*faure.Table4Result, baselines []*faure.Table4Result, seed int64, pool int, workers int) benchReport {
+	report := benchReport{Benchmark: "table4", Seed: seed, Pool: pool, Workers: workers}
+	for i, res := range results {
+		for j, row := range res.Rows {
+			wl := benchWorkload{
+				Name:         row.Query,
+				Prefixes:     res.Prefixes,
+				WallMS:       float64(row.Wall.Microseconds()) / 1000,
+				SQLMS:        float64(row.SQL.Microseconds()) / 1000,
+				SolverMS:     float64(row.Solver.Microseconds()) / 1000,
+				Iterations:   row.Iterations,
+				Derived:      row.Derived,
+				Pruned:       row.Pruned,
+				Absorbed:     row.Absorbed,
+				AbsorbProbes: row.AbsorbProbes,
+				SatCalls:     row.SatCalls,
+				Tuples:       row.Tuples,
+			}
+			if i < len(baselines) && j < len(baselines[i].Rows) {
+				b := baselines[i].Rows[j]
+				wl.Wall1WMS = float64(b.Wall.Microseconds()) / 1000
+				if row.Wall > 0 {
+					wl.Speedup = float64(b.Wall) / float64(row.Wall)
+				}
+			}
+			report.Workloads = append(report.Workloads, wl)
 		}
 	}
 	return report

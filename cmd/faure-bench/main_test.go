@@ -62,12 +62,12 @@ func TestRunJSONReport(t *testing.T) {
 		w.WallMS, w.SQLMS, w.SolverMS = 0, 0, 0
 	}
 	golden := benchReport{
-		Benchmark: "table4", Seed: 1, Pool: 10,
+		Benchmark: "table4", Seed: 1, Pool: 10, Workers: 1,
 		Workloads: []benchWorkload{
-			{Name: "q4-q5", Prefixes: 50, Iterations: 5, Derived: 1815, Pruned: 520, SatCalls: 2563, Tuples: 1815},
-			{Name: "q6", Prefixes: 50, Iterations: 1, Derived: 1815, SatCalls: 2043, Tuples: 1815},
-			{Name: "q7", Prefixes: 50, Iterations: 1, Derived: 17, Pruned: 2, SatCalls: 22, Tuples: 17},
-			{Name: "q8", Prefixes: 50, Iterations: 1, Derived: 293, SatCalls: 358, Tuples: 293},
+			{Name: "q4-q5", Prefixes: 50, Iterations: 6, Derived: 1815, Pruned: 520, AbsorbProbes: 228, SatCalls: 2563, Tuples: 1815},
+			{Name: "q6", Prefixes: 50, Iterations: 1, Derived: 1815, AbsorbProbes: 228, SatCalls: 2043, Tuples: 1815},
+			{Name: "q7", Prefixes: 50, Iterations: 1, Derived: 17, Pruned: 2, AbsorbProbes: 3, SatCalls: 22, Tuples: 17},
+			{Name: "q8", Prefixes: 50, Iterations: 1, Derived: 293, AbsorbProbes: 65, SatCalls: 358, Tuples: 293},
 		},
 	}
 	if len(report.Workloads) != len(golden.Workloads) {
@@ -129,6 +129,55 @@ func TestRunAblations(t *testing.T) {
 	for _, want := range []string{"baseline", "no-absorb", "no-eager-prune", "no-index", "no-solver-cache"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+// TestRunParallelReport checks the -parallel sweep: the report records
+// the worker count, each workload carries the single-worker baseline
+// and speedup columns, and the derived counts match the sequential
+// run exactly (parallel evaluation is deterministic).
+func TestRunParallelReport(t *testing.T) {
+	dir := t.TempDir()
+	seqOut := filepath.Join(dir, "seq.json")
+	parOut := filepath.Join(dir, "par.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []int{40}, 1, 10, false, true, seqOut, faure.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&buf, []int{40}, 1, 10, false, true, parOut, faure.Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "parallel evaluation: 4 workers") {
+		t.Errorf("missing parallel summary line:\n%s", buf.String())
+	}
+	var seq, par benchReport
+	for path, into := range map[string]*benchReport{seqOut: &seq, parOut: &par} {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	if seq.Workers != 1 || par.Workers != 4 {
+		t.Fatalf("workers fields = %d / %d, want 1 / 4", seq.Workers, par.Workers)
+	}
+	if len(seq.Workloads) != len(par.Workloads) {
+		t.Fatalf("workload counts diverge: %d vs %d", len(seq.Workloads), len(par.Workloads))
+	}
+	for i, s := range seq.Workloads {
+		p := par.Workloads[i]
+		if s.Wall1WMS != 0 || s.Speedup != 0 {
+			t.Errorf("sequential workload %s has baseline columns set", s.Name)
+		}
+		if p.Wall1WMS == 0 || p.Speedup == 0 {
+			t.Errorf("parallel workload %s missing baseline columns: %+v", p.Name, p)
+		}
+		if s.Derived != p.Derived || s.Pruned != p.Pruned || s.Absorbed != p.Absorbed ||
+			s.Iterations != p.Iterations || s.Tuples != p.Tuples || s.AbsorbProbes != p.AbsorbProbes {
+			t.Errorf("workload %s: deterministic counters diverge:\nseq %+v\npar %+v", s.Name, s, p)
 		}
 	}
 }

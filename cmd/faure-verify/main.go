@@ -51,8 +51,8 @@ func main() {
 
 	exhausted := false
 	if *target == "" {
-		exhausted = runBuiltin(*withUpdate, *withState, ob.Observer(), ob.Budget())
-	} else if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob.Observer(), ob.Budget(), &exhausted); err != nil {
+		exhausted = runBuiltin(*withUpdate, *withState, ob.Observer(), ob.Budget(), ob.Workers())
+	} else if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob.Observer(), ob.Budget(), ob.Workers(), &exhausted); err != nil {
 		_ = ob.Close(os.Stderr)
 		fmt.Fprintln(os.Stderr, "faure-verify:", err)
 		os.Exit(obsflag.ExitCode(err))
@@ -65,8 +65,8 @@ func main() {
 	}
 }
 
-func runBuiltin(withUpdate, withState bool, o faure.Observer, bud *faure.BudgetTracker) bool {
-	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(), Obs: o, Budget: bud}
+func runBuiltin(withUpdate, withState bool, o faure.Observer, bud *faure.BudgetTracker, workers int) bool {
+	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(), Obs: o, Budget: bud, Workers: workers}
 	known := []faure.Constraint{faure.Clb(), faure.Cs()}
 	update := faure.ListingFourUpdate()
 	state := faure.EnterpriseState(false)
@@ -92,7 +92,7 @@ func runBuiltin(withUpdate, withState bool, o faure.Observer, bud *faure.BudgetT
 	return exhausted
 }
 
-func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, o faure.Observer, bud *faure.BudgetTracker, exhausted *bool) error {
+func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, o faure.Observer, bud *faure.BudgetTracker, workers int, exhausted *bool) error {
 	target, err := loadConstraint(targetPath)
 	if err != nil {
 		return err
@@ -130,7 +130,7 @@ func runFiles(targetPath string, knownPaths []string, updatePath, statePath stri
 		}
 		doms = state.Doms
 	}
-	v := &faure.Verifier{Doms: doms, Obs: o, Budget: bud}
+	v := &faure.Verifier{Doms: doms, Obs: o, Budget: bud, Workers: workers}
 	*exhausted = report(target.Name, v, target, known, update, state)
 	return nil
 }

@@ -18,10 +18,10 @@ func write(t *testing.T, name, content string) string {
 func TestRunBuiltinVariants(t *testing.T) {
 	// Smoke: the built-in scenario must not error in any configuration
 	// (it prints; errors would os.Exit, failing the test process).
-	runBuiltin(true, true, nil, nil)
-	runBuiltin(true, false, nil, nil)
-	runBuiltin(false, true, nil, nil)
-	runBuiltin(false, false, nil, nil)
+	runBuiltin(true, true, nil, nil, 1)
+	runBuiltin(true, false, nil, nil, 1)
+	runBuiltin(false, true, nil, nil, 1)
+	runBuiltin(false, false, nil, nil, 1)
 }
 
 func TestRunFiles(t *testing.T) {
@@ -33,40 +33,40 @@ func TestRunFiles(t *testing.T) {
 	update := write(t, "u.upd", `+fw(Mkt, CS).`)
 	state := write(t, "s.fdb", `r(Mkt, CS, 7000).`)
 
-	if err := runFiles(target, []string{known}, "", "", nil, nil, new(bool)); err != nil {
+	if err := runFiles(target, []string{known}, "", "", nil, nil, 1, new(bool)); err != nil {
 		t.Errorf("constraints only: %v", err)
 	}
-	if err := runFiles(target, []string{known}, update, "", nil, nil, new(bool)); err != nil {
+	if err := runFiles(target, []string{known}, update, "", nil, nil, 1, new(bool)); err != nil {
 		t.Errorf("with update: %v", err)
 	}
-	if err := runFiles(target, nil, "", state, nil, nil, new(bool)); err != nil {
+	if err := runFiles(target, nil, "", state, nil, nil, 1, new(bool)); err != nil {
 		t.Errorf("with state (violated, prints derivations): %v", err)
 	}
-	if err := runFiles(target, nil, update, state, nil, nil, new(bool)); err != nil {
+	if err := runFiles(target, nil, update, state, nil, nil, 1, new(bool)); err != nil {
 		t.Errorf("update+state: %v", err)
 	}
 }
 
 func TestRunFilesErrors(t *testing.T) {
 	target := write(t, "t.fl", `panic() :- r(x).`)
-	if err := runFiles("missing.fl", nil, "", "", nil, nil, new(bool)); err == nil {
+	if err := runFiles("missing.fl", nil, "", "", nil, nil, 1, new(bool)); err == nil {
 		t.Errorf("missing target should error")
 	}
-	if err := runFiles(target, []string{"missing.fl"}, "", "", nil, nil, new(bool)); err == nil {
+	if err := runFiles(target, []string{"missing.fl"}, "", "", nil, nil, 1, new(bool)); err == nil {
 		t.Errorf("missing known should error")
 	}
-	if err := runFiles(target, nil, "missing.upd", "", nil, nil, new(bool)); err == nil {
+	if err := runFiles(target, nil, "missing.upd", "", nil, nil, 1, new(bool)); err == nil {
 		t.Errorf("missing update should error")
 	}
-	if err := runFiles(target, nil, "", "missing.fdb", nil, nil, new(bool)); err == nil {
+	if err := runFiles(target, nil, "", "missing.fdb", nil, nil, 1, new(bool)); err == nil {
 		t.Errorf("missing state should error")
 	}
 	badProg := write(t, "bad.fl", `v(x) :- r(x).`) // no panic rule
-	if err := runFiles(badProg, nil, "", "", nil, nil, new(bool)); err == nil {
+	if err := runFiles(badProg, nil, "", "", nil, nil, 1, new(bool)); err == nil {
 		t.Errorf("constraint without panic should error")
 	}
 	badUpd := write(t, "bad.upd", `lb(A).`)
-	if err := runFiles(target, nil, badUpd, "", nil, nil, new(bool)); err == nil {
+	if err := runFiles(target, nil, badUpd, "", nil, nil, 1, new(bool)); err == nil {
 		t.Errorf("bad update should error")
 	}
 }

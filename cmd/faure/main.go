@@ -125,6 +125,7 @@ func cmdEval(args []string) error {
 			Trace:    *explain != "" || *trace,
 			Observer: ob.Observer(),
 			Budget:   ob.Budget(),
+			Workers:  ob.Workers(),
 		})
 		if err != nil {
 			return err

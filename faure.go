@@ -336,6 +336,15 @@ func WithTimeout(opts Options, d time.Duration) Options {
 	return WithBudget(opts, NewBudget(nil, Budget{Timeout: d}))
 }
 
+// WithWorkers returns a copy of opts that evaluates fixpoint rounds on
+// n parallel workers (n <= 1 keeps the sequential engine). Parallel
+// evaluation is deterministic: the result tables — tuples, conditions
+// and ordering — are bit-for-bit identical at any worker count.
+func WithWorkers(opts Options, n int) Options {
+	opts.Workers = n
+	return opts
+}
+
 // Eval runs a fauré-log program over a database.
 func Eval(prog *Program, db *Database, opts Options) (res *Result, err error) {
 	defer guard.Recover("faure.Eval", &err)
@@ -470,6 +479,22 @@ func RingTopology(n int) *Topology { return network.RingTopology(n) }
 
 // ReachabilityProgram returns Listing 2's recursive q4–q5.
 func ReachabilityProgram() *Program { return network.ReachabilityProgram() }
+
+// TwoLinkFailureProgram returns Listing 2's q6: reachability under the
+// failure of the two named links, over a computed reach relation.
+func TwoLinkFailureProgram(x, y, z string) *Program { return network.TwoLinkFailureProgram(x, y, z) }
+
+// PinnedPairFailureProgram returns Listing 2's q7: the pinned
+// source/destination pair nested over q6's result.
+func PinnedPairFailureProgram(src, dst int, y string) *Program {
+	return network.PinnedPairFailureProgram(src, dst, y)
+}
+
+// AtLeastOneFailureProgram returns Listing 2's q8: reachability from
+// the source when at least one of the named links has failed.
+func AtLeastOneFailureProgram(src int, y, z string) *Program {
+	return network.AtLeastOneFailureProgram(src, y, z)
+}
 
 // GenerateRIB builds the synthetic Table 4 workload.
 func GenerateRIB(cfg RIBConfig) *RIB { return rib.Generate(cfg) }

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -139,18 +140,23 @@ const pollEvery = 4096
 // verifier hands one tracker to containment, evaluation and the
 // solver, so "10k solver steps" means 10k steps total, not per phase.
 //
-// A nil *B is valid everywhere and disables all checks. Like the
-// solver, a tracker is not safe for concurrent use.
+// A nil *B is valid everywhere and disables all checks. A tracker is
+// safe for concurrent use: the parallel evaluation engine shares one
+// tracker across its worker goroutines, each charging steps and tuples
+// through atomic counters. The first goroutine to exhaust a budget
+// records the trip (first trip wins); every later check on any
+// goroutine returns that same sticky *Exceeded, so the remaining
+// workers drain at their next checkpoint.
 type B struct {
 	ctx         context.Context
 	deadline    time.Time
 	hasDeadline bool
 	timeout     time.Duration // for the Exceeded report
 	limits      Limits
-	stepsLeft   int64
-	tuplesLeft  int64
-	sincePoll   int64
-	tripped     *Exceeded
+	stepsLeft   atomic.Int64
+	tuplesLeft  atomic.Int64
+	sincePoll   atomic.Int64
+	tripped     atomic.Pointer[Exceeded]
 }
 
 // New returns a tracker enforcing the limits under the given context.
@@ -161,7 +167,9 @@ func New(ctx context.Context, l Limits) *B {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	b := &B{ctx: ctx, limits: l, stepsLeft: l.SolverSteps, tuplesLeft: l.Tuples}
+	b := &B{ctx: ctx, limits: l}
+	b.stepsLeft.Store(l.SolverSteps)
+	b.tuplesLeft.Store(l.Tuples)
 	if l.Timeout > 0 {
 		b.deadline = time.Now().Add(l.Timeout)
 		b.hasDeadline = true
@@ -186,10 +194,13 @@ func (b *B) Limits() Limits {
 // Err returns the sticky exhaustion error, or nil while every budget
 // still has headroom. It does not read the clock.
 func (b *B) Err() error {
-	if b == nil || b.tripped == nil {
+	if b == nil {
 		return nil
 	}
-	return b.tripped
+	if t := b.tripped.Load(); t != nil {
+		return t
+	}
+	return nil
 }
 
 // Exceeded returns the sticky trip record, or nil.
@@ -197,16 +208,15 @@ func (b *B) Exceeded() *Exceeded {
 	if b == nil {
 		return nil
 	}
-	return b.tripped
+	return b.tripped.Load()
 }
 
 // trip records the first exhaustion and returns it (or the earlier
-// one: the first trip wins so every layer reports the same reason).
+// one: the first trip wins — also across goroutines — so every layer
+// reports the same reason).
 func (b *B) trip(kind Kind, limit int64, where string) *Exceeded {
-	if b.tripped == nil {
-		b.tripped = &Exceeded{Kind: kind, Limit: limit, Where: where}
-	}
-	return b.tripped
+	b.tripped.CompareAndSwap(nil, &Exceeded{Kind: kind, Limit: limit, Where: where})
+	return b.tripped.Load()
 }
 
 // Check polls cancellation and the wall-clock deadline; call it
@@ -216,8 +226,8 @@ func (b *B) Check(where string) error {
 	if b == nil {
 		return nil
 	}
-	if b.tripped != nil {
-		return b.tripped
+	if t := b.tripped.Load(); t != nil {
+		return t
 	}
 	if err := b.ctx.Err(); err != nil {
 		kind := Canceled
@@ -239,18 +249,20 @@ func (b *B) SolverStep() error {
 	if b == nil {
 		return nil
 	}
-	if b.tripped != nil {
-		return b.tripped
+	if t := b.tripped.Load(); t != nil {
+		return t
 	}
 	if b.limits.SolverSteps > 0 {
-		b.stepsLeft--
-		if b.stepsLeft < 0 {
+		if b.stepsLeft.Add(-1) < 0 {
 			return b.trip(SolverSteps, b.limits.SolverSteps, "solver")
 		}
 	}
-	b.sincePoll++
-	if b.sincePoll >= pollEvery {
-		b.sincePoll = 0
+	if b.sincePoll.Add(1) >= pollEvery {
+		// The reset is racy across workers — several may reset around the
+		// same threshold crossing — but polling is approximate by design:
+		// what matters is that some worker reads the clock at least every
+		// pollEvery steps, which the shared counter guarantees.
+		b.sincePoll.Store(0)
 		return b.Check("solver")
 	}
 	return nil
@@ -261,14 +273,13 @@ func (b *B) AddTuples(n int64, where string) error {
 	if b == nil {
 		return nil
 	}
-	if b.tripped != nil {
-		return b.tripped
+	if t := b.tripped.Load(); t != nil {
+		return t
 	}
 	if b.limits.Tuples <= 0 {
 		return nil
 	}
-	b.tuplesLeft -= n
-	if b.tuplesLeft < 0 {
+	if b.tuplesLeft.Add(-n) < 0 {
 		return b.trip(Tuples, b.limits.Tuples, where)
 	}
 	return nil
@@ -280,8 +291,8 @@ func (b *B) CheckCond(atoms int, where string) error {
 	if b == nil {
 		return nil
 	}
-	if b.tripped != nil {
-		return b.tripped
+	if t := b.tripped.Load(); t != nil {
+		return t
 	}
 	if b.limits.CondSize > 0 && int64(atoms) > b.limits.CondSize {
 		return b.trip(CondSize, b.limits.CondSize, where)

@@ -1,0 +1,98 @@
+package budget
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSolverSteps drains one step budget from many
+// goroutines: the total number of successful charges must not exceed
+// the limit, every goroutine must observe the same sticky trip, and
+// the race detector must stay quiet.
+func TestConcurrentSolverSteps(t *testing.T) {
+	const limit = 10_000
+	b := New(nil, Limits{SolverSteps: limit})
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		charged int64
+		trips   []*Exceeded
+	)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for {
+				if err := b.SolverStep(); err != nil {
+					ex, ok := As(err)
+					if !ok {
+						t.Errorf("SolverStep returned non-budget error %v", err)
+						return
+					}
+					mu.Lock()
+					charged += local
+					trips = append(trips, ex)
+					mu.Unlock()
+					return
+				}
+				local++
+			}
+		}()
+	}
+	wg.Wait()
+	if charged > limit {
+		t.Fatalf("charged %d steps, limit %d", charged, limit)
+	}
+	if len(trips) != 8 {
+		t.Fatalf("want 8 trips, got %d", len(trips))
+	}
+	for _, ex := range trips[1:] {
+		if ex != trips[0] {
+			t.Fatalf("goroutines saw different trip records: %p vs %p", ex, trips[0])
+		}
+	}
+	if trips[0].Kind != SolverSteps {
+		t.Fatalf("trip kind = %v, want %v", trips[0].Kind, SolverSteps)
+	}
+}
+
+// TestConcurrentTuples checks the tuple budget under concurrent
+// charging: at most Tuples successful AddTuples calls, sticky trip
+// after.
+func TestConcurrentTuples(t *testing.T) {
+	const limit = 500
+	b := New(nil, Limits{Tuples: limit})
+	var (
+		wg sync.WaitGroup
+		ok int64
+		mu sync.Mutex
+	)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for i := 0; i < limit; i++ {
+				if err := b.AddTuples(1, "worker"); err != nil {
+					break
+				}
+				local++
+			}
+			mu.Lock()
+			ok += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if ok > limit {
+		t.Fatalf("accepted %d tuples, limit %d", ok, limit)
+	}
+	if b.Exceeded() == nil || b.Exceeded().Kind != Tuples {
+		t.Fatalf("want sticky Tuples trip, got %v", b.Exceeded())
+	}
+	// Every later check on any path returns the same record.
+	if err := b.Check("later"); err != b.Exceeded() {
+		t.Fatalf("Check after trip = %v, want the sticky record", err)
+	}
+}

@@ -28,6 +28,13 @@ const (
 // Not); they flatten, deduplicate and sort sub-formulas so that
 // logically identical spellings share a canonical Key, which both the
 // solver cache and fixpoint-termination dedup rely on.
+//
+// Immutability is a concurrency contract: every derived field (key,
+// atom count) is computed at construction and never changes, and the
+// package's only shared values are the interned True/False singletons.
+// Formulas may therefore be read — compared, traversed, solved —
+// from any number of goroutines without synchronisation; the parallel
+// evaluation engine depends on this.
 type Formula struct {
 	Kind   FKind
 	Atom   Atom       // valid when Kind == FAtom

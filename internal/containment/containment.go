@@ -55,6 +55,9 @@ import (
 type Opts struct {
 	Obs    obs.Observer
 	Budget *budget.B
+	// Workers sets the parallelism of the inner fauré-log evaluations
+	// (<= 1 is sequential; results are identical at any count).
+	Workers int
 }
 
 // PanicPred is the reserved 0-ary violation predicate.
@@ -241,7 +244,7 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 	if err != nil {
 		return false, err
 	}
-	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o, Budget: opt.Budget})
+	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o, Budget: opt.Budget, Workers: opt.Workers})
 	if err != nil {
 		return false, err
 	}

@@ -58,6 +58,15 @@ type Options struct {
 	// several phases (the verifier's ladder) pass the same tracker to
 	// each; the first phase to exhaust it trips them all.
 	Budget *budget.B
+	// Workers sets evaluation parallelism: how many goroutines shard
+	// each fixpoint round's rule applications, each with its own solver
+	// instance. 0 or 1 selects the sequential engine. Parallel
+	// evaluation is deterministic: workers only collect candidate
+	// tuples, and a coordinator replays them in the sequential emission
+	// order at each round barrier, so the result tables — contents,
+	// conditions and ordering — are bit-for-bit identical whatever the
+	// worker count (see parallel.go).
+	Workers int
 }
 
 // tracker resolves the effective budget: an explicit tracker wins, a
@@ -80,6 +89,13 @@ func (o Options) maxIters() int {
 	return 100000
 }
 
+func (o Options) workerCount() int {
+	if o.Workers > 1 {
+		return o.Workers
+	}
+	return 1
+}
+
 // Stats reports the work done by one evaluation, mirroring the paper's
 // Table 4 breakdown: SQLTime is the relational phase (joins, condition
 // construction, dedup), SolverTime is the condition-solving phase (the
@@ -98,6 +114,11 @@ type Stats struct {
 	Absorbed   int // tuples dropped by semantic absorption
 	Iterations int // total fixpoint rounds across strata
 	SatCalls   int // solver satisfiability decisions
+	// AbsorbProbes counts absorption checks that actually reached the
+	// solver's Implies — the syntactic fast path answers the rest for
+	// free, so the gap between absorption candidates and probes is the
+	// fast path's hit count.
+	AbsorbProbes int
 }
 
 // Add accumulates other into s.
@@ -109,6 +130,7 @@ func (s *Stats) Add(other Stats) {
 	s.Absorbed += other.Absorbed
 	s.Iterations += other.Iterations
 	s.SatCalls += other.SatCalls
+	s.AbsorbProbes += other.AbsorbProbes
 }
 
 // Result is the outcome of an evaluation: the database extended with
@@ -196,6 +218,15 @@ type engine struct {
 	// data part, for absorption.
 	seen  map[string]map[[2]uint64]struct{}
 	conds map[string]map[string][]*cond.Formula
+	// pending buffers the tuples committed during the current round;
+	// they reach the relation store only at the round barrier, so every
+	// join in a round — sequential or on a worker — reads the store as
+	// of the round's start. This snapshot (Jacobi-style) round is what
+	// makes the parallel engine's output bit-identical to sequential:
+	// a worker joining against the frozen store sees exactly what the
+	// sequential join would. Derivations that need a same-round tuple
+	// fire one round later through its delta.
+	pending []pendingInsert
 	// derived names the predicates the program defines, in insertion
 	// order, to build the result database; extraExport lists EDB
 	// relations mutated in place (incremental insertions) that the
@@ -212,6 +243,11 @@ type engine struct {
 	// bud is the resolved resource tracker (nil when governance is off);
 	// the solver shares it, so its steps drain the same budget.
 	bud *budget.B
+	// wrk holds the per-worker state of the parallel engine (empty in
+	// sequential mode); memo is the satisfiability memo the worker
+	// solvers and the base solver share through round-barrier flushes.
+	wrk  []*evalWorker
+	memo *solver.Memo
 }
 
 func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error) {
@@ -237,6 +273,26 @@ func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error
 	}
 	if e.obsOn {
 		e.sol.SetObserver(opts.Observer)
+	}
+	if n := opts.workerCount(); n > 1 {
+		if !opts.NoSolverCache {
+			e.memo = solver.NewMemo(0)
+			e.sol.SetSharedMemo(e.memo)
+		}
+		e.wrk = make([]*evalWorker, n)
+		for i := range e.wrk {
+			ws := solver.New(db.Doms)
+			ws.SetBudget(e.bud)
+			if opts.NoSolverCache {
+				ws.SetCacheLimit(0)
+			} else {
+				ws.SetSharedMemo(e.memo)
+			}
+			if e.obsOn {
+				ws.SetObserver(opts.Observer)
+			}
+			e.wrk[i] = &evalWorker{sol: ws}
+		}
 	}
 	if opts.Trace {
 		e.trace = map[string]Derivation{}
@@ -298,8 +354,11 @@ func (e *engine) run() error {
 	// The wall clock of the whole run minus the time spent in the
 	// solver is the relational ("sql") phase. Both are read once, after
 	// every phase (the deferred final prune included), so solver time
-	// from later phases cannot leak into the relational column.
-	e.stats.SQLTime = time.Since(start) - e.stats.SolverTime
+	// from later phases cannot leak into the relational column. On a
+	// parallel run the solver column sums per-worker CPU time and can
+	// exceed the wall clock; the relational column clamps at zero
+	// instead of going negative.
+	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()
@@ -345,6 +404,7 @@ func (e *engine) reportTotals(evalSpan obs.Span) {
 	e.o.Count("eval.absorbed", int64(e.stats.Absorbed))
 	e.o.Count("eval.iterations", int64(e.stats.Iterations))
 	e.o.Count("eval.sat_calls", int64(e.stats.SatCalls))
+	e.o.Count("eval.absorb_probes", int64(e.stats.AbsorbProbes))
 	evalSpan.SetAttrs(
 		obs.Int("derived", int64(e.stats.Derived)),
 		obs.Int("pruned", int64(e.stats.Pruned)),
@@ -366,36 +426,21 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 		cur[pred] = append(cur[pred], tp)
 	}
 	// Round zero: evaluate every rule in full.
-	if err := e.checkpoint(stratum, 0); err != nil {
-		return err
-	}
-	var itSpan obs.Span
-	if e.obsOn {
-		itSpan = evalSpan.StartChild("iteration",
-			obs.Int("stratum", int64(stratum)), obs.Int("round", 0))
-	}
+	units := make([]unit, 0, len(rules))
 	for _, r := range rules {
-		if err := e.deriveRuleObserved(r, -1, nil, sink, itSpan); err != nil {
-			return e.annotate(err, stratum, 0)
-		}
+		units = append(units, unit{r: r, deltaIdx: -1})
 	}
-	if e.obsOn {
-		itSpan.End()
+	if err := e.runRound(units, sink, evalSpan, stratum, 0); err != nil {
+		return err
 	}
 	for iter := 0; len(cur) > 0; iter++ {
 		e.stats.Iterations++
 		if iter >= e.opts.maxIters() {
 			return fmt.Errorf("faurelog: fixpoint did not converge within %d iterations", e.opts.maxIters())
 		}
-		if err := e.checkpoint(stratum, iter+1); err != nil {
-			return err
-		}
-		if e.obsOn {
-			itSpan = evalSpan.StartChild("iteration",
-				obs.Int("stratum", int64(stratum)), obs.Int("round", int64(iter+1)))
-		}
 		prev := cur
 		cur = delta{}
+		units = units[:0]
 		for _, r := range rules {
 			for i, a := range r.Body {
 				if a.Neg || !recursive[a.Pred] {
@@ -405,13 +450,74 @@ func (e *engine) evalStratum(rules []Rule, recursive map[string]bool, evalSpan o
 				if len(d) == 0 {
 					continue
 				}
-				if err := e.deriveRuleObserved(r, i, d, sink, itSpan); err != nil {
-					return e.annotate(err, stratum, iter+1)
-				}
+				units = append(units, unit{r: r, deltaIdx: i, delta: d})
 			}
 		}
-		if e.obsOn {
-			itSpan.End()
+		if err := e.runRound(units, sink, evalSpan, stratum, iter+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runRound runs one fixpoint round's units — checkpoint, iteration
+// span, then either the sequential loop or the worker pool. The two
+// paths produce identical emissions in identical order (see
+// parallel.go); only wall-clock and span shape differ.
+func (e *engine) runRound(units []unit, sink func(string, ctable.Tuple), evalSpan obs.Span, stratum, round int) error {
+	if err := e.checkpoint(stratum, round); err != nil {
+		return err
+	}
+	var itSpan obs.Span
+	if e.obsOn {
+		itSpan = evalSpan.StartChild("iteration",
+			obs.Int("stratum", int64(stratum)), obs.Int("round", int64(round)))
+	}
+	var err error
+	if len(e.wrk) > 0 {
+		err = e.runRoundParallel(units, sink, itSpan)
+	} else {
+		err = e.runRoundSeq(units, sink, itSpan)
+	}
+	// Round barrier: the tuples committed this round become visible to
+	// the next round's joins. On a mid-round budget trip the commits
+	// made so far still stand (sequential truncation semantics); a
+	// worker-phase trip left pending empty, so the round rolls back.
+	if ferr := e.flushPending(); err == nil {
+		err = ferr
+	}
+	if e.obsOn {
+		itSpan.End()
+	}
+	if err != nil {
+		return e.annotate(err, stratum, round)
+	}
+	return nil
+}
+
+// pendingInsert is one committed tuple awaiting the round barrier.
+type pendingInsert struct {
+	pred string
+	tp   ctable.Tuple
+}
+
+// flushPending moves the round's committed tuples into the relation
+// store.
+func (e *engine) flushPending() error {
+	for _, pi := range e.pending {
+		rel := e.store.Ensure(pi.pred, len(pi.tp.Values))
+		if err := rel.Insert(pi.tp); err != nil {
+			return err
+		}
+	}
+	e.pending = e.pending[:0]
+	return nil
+}
+
+func (e *engine) runRoundSeq(units []unit, sink func(string, ctable.Tuple), itSpan obs.Span) error {
+	for _, u := range units {
+		if err := e.deriveRuleObserved(u.r, u.deltaIdx, u.delta, sink, itSpan); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -443,16 +549,26 @@ func (e *engine) annotate(err error, stratum, round int) error {
 	return err
 }
 
+// emitFn receives each completed body match of a rule application:
+// the rule, the final variable bindings, the accumulated body
+// conditions and (when tracing) the source tuples. The sequential
+// engine plugs in emit directly; the parallel workers plug in a
+// candidate collector (see runUnit).
+type emitFn func(r Rule, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source) error
+
 // deriveRuleObserved wraps deriveRule in a "rule" span recording the
 // head predicate and how many tuples the application derived. With
 // observation off it is a tail call into deriveRule.
 func (e *engine) deriveRuleObserved(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple), itSpan obs.Span) error {
+	emit := func(r Rule, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source) error {
+		return e.emit(r, bind, conds, srcs, sink)
+	}
 	if !e.obsOn {
-		return e.deriveRule(r, deltaIdx, deltaTuples, sink)
+		return e.deriveRule(r, deltaIdx, deltaTuples, emit)
 	}
 	sp := itSpan.StartChild("rule", obs.String("head", r.Head.Pred))
 	before := e.stats.Derived
-	err := e.deriveRule(r, deltaIdx, deltaTuples, sink)
+	err := e.deriveRule(r, deltaIdx, deltaTuples, emit)
 	derived := int64(e.stats.Derived - before)
 	sp.SetAttrs(obs.Int("derived", derived))
 	sp.End()
@@ -469,7 +585,7 @@ func (e *engine) deriveRuleObserved(r Rule, deltaIdx int, deltaTuples []ctable.T
 // literal's variables are bound before it is reached, whatever order
 // the rule was written in (safety is validated, so the reordering
 // always succeeds).
-func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple)) error {
+func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, emit emitFn) error {
 	// Per-rule-application poll; the empty location is filled in with
 	// the stratum and round by the caller's annotate.
 	if err := e.bud.Check(""); err != nil {
@@ -498,7 +614,7 @@ func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, si
 	if e.trace != nil {
 		srcs = make([]Source, 0, len(ordered.Body))
 	}
-	return e.join(ordered, 0, bind, conds, srcs, deltaIdx, deltaTuples, sink)
+	return e.join(ordered, 0, bind, conds, srcs, deltaIdx, deltaTuples, emit)
 }
 
 // reorderBody moves negated literals after the positive ones (stable
@@ -536,9 +652,12 @@ func reorderBody(r Rule, deltaIdx int) ([]Atom, int) {
 	return out, mapped
 }
 
-func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source, deltaIdx int, deltaTuples []ctable.Tuple, sink func(string, ctable.Tuple)) error {
+// join is safe to call from worker goroutines when emit is: besides
+// emit it touches only the frozen store, the (atomic) budget and
+// read-only engine configuration.
+func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source, deltaIdx int, deltaTuples []ctable.Tuple, emit emitFn) error {
 	if i == len(r.Body) {
-		return e.emit(r, bind, conds, srcs, sink)
+		return emit(r, bind, conds, srcs)
 	}
 	a := r.Body[i]
 	if a.Neg {
@@ -553,7 +672,7 @@ func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Fo
 		if e.trace != nil {
 			next = append(srcs, Source{Pred: a.Pred, Tuple: ctable.NewTuple(pattern, f), Negated: true})
 		}
-		return e.join(r, i+1, bind, append(conds, f), next, deltaIdx, deltaTuples, sink)
+		return e.join(r, i+1, bind, append(conds, f), next, deltaIdx, deltaTuples, emit)
 	}
 
 	tryTuple := func(tp ctable.Tuple) error {
@@ -569,7 +688,7 @@ func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Fo
 		if e.trace != nil {
 			nextSrcs = append(srcs, Source{Pred: a.Pred, Tuple: tp})
 		}
-		if err := e.join(r, i+1, bind, next, nextSrcs, deltaIdx, deltaTuples, sink); err != nil {
+		if err := e.join(r, i+1, bind, next, nextSrcs, deltaIdx, deltaTuples, emit); err != nil {
 			return err
 		}
 		for _, v := range undo {
@@ -734,30 +853,61 @@ func (e *engine) negationCondition(a Atom, bind map[string]cond.Term) (*cond.For
 
 // emit instantiates the rule head under the completed bindings,
 // attaches the accumulated and explicit conditions, prunes and dedups,
-// and inserts the tuple.
+// and inserts the tuple. It is the sequential composition of the two
+// halves the parallel engine runs on different sides of its round
+// barrier: prepareEmit (worker-safe) and commit (serial).
 func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source, sink func(string, ctable.Tuple)) error {
+	p, live, err := e.prepareEmit(r, bind, conds, srcs)
+	if err != nil {
+		return err
+	}
+	if !live {
+		e.stats.Pruned++
+		return nil
+	}
+	return e.commit(p, false, false, sink)
+}
+
+// prepared is the outcome of the worker-safe half of an emission: the
+// instantiated head tuple with its canonical condition, precomputed
+// dedup keys, and (when tracing) the derivation provenance.
+type prepared struct {
+	pred    string
+	tp      ctable.Tuple
+	cond    *cond.Formula
+	key     [2]uint64
+	dataKey string   // set unless absorption is off
+	ruleStr string   // set when tracing
+	srcs    []Source // copied, set when tracing
+}
+
+// prepareEmit builds the head tuple for completed bindings. It is safe
+// to call from worker goroutines: it reads only immutable engine
+// configuration and charges the (concurrency-safe) budget. live=false
+// with a nil error reports a syntactically false condition — the
+// caller owns counting the prune so workers can defer it to the merge.
+func (e *engine) prepareEmit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source) (prepared, bool, error) {
 	all := append([]*cond.Formula(nil), conds...)
 	for _, c := range r.Comps {
 		f, err := instantiateComparison(c, bind)
 		if err != nil {
-			return err
+			return prepared{}, false, err
 		}
 		all = append(all, f)
 	}
 	if r.HeadCond != nil {
 		f, err := r.HeadCond.instantiate(bind)
 		if err != nil {
-			return err
+			return prepared{}, false, err
 		}
 		all = append(all, f)
 	}
 	condition := cond.And(all...)
 	if condition.IsFalse() {
-		e.stats.Pruned++
-		return nil
+		return prepared{}, false, nil
 	}
 	if err := e.bud.CheckCond(condition.NAtoms(), "derived condition for "+r.Head.Pred); err != nil {
-		return err
+		return prepared{}, false, err
 	}
 	values := make([]cond.Term, len(r.Head.Args))
 	for i, t := range r.Head.Args {
@@ -765,7 +915,7 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 		case TVar:
 			b, ok := bind[t.Name]
 			if !ok {
-				return fmt.Errorf("faurelog: unbound head variable %s in %v", t.Name, r)
+				return prepared{}, false, fmt.Errorf("faurelog: unbound head variable %s in %v", t.Name, r)
 			}
 			values[i] = b
 		default:
@@ -773,23 +923,42 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 		}
 	}
 	tp := ctable.NewTuple(values, condition)
+	p := prepared{pred: r.Head.Pred, tp: tp, cond: condition, key: hashKey(tp.Key())}
+	if !e.opts.NoAbsorb {
+		p.dataKey = tp.DataKey()
+	}
+	if e.trace != nil {
+		p.ruleStr = r.String()
+		p.srcs = make([]Source, len(srcs))
+		copy(p.srcs, srcs)
+	}
+	return p, true, nil
+}
 
-	pred := r.Head.Pred
-	seen := e.seen[pred]
+// commit is the serial half of an emission: dedup, eager prune,
+// absorption, budget charge, insert, trace, sink. All shared engine
+// state is touched only here, which is why the parallel merge — which
+// replays prepared candidates in sequential emission order — yields
+// bit-identical tables. satKnown carries a worker's speculative
+// satisfiability verdict so the merge does not repeat the solver call.
+func (e *engine) commit(p prepared, satKnown, sat bool, sink func(string, ctable.Tuple)) error {
+	seen := e.seen[p.pred]
 	if seen == nil {
 		seen = map[[2]uint64]struct{}{}
-		e.seen[pred] = seen
+		e.seen[p.pred] = seen
 	}
-	key := hashKey(tp.Key())
-	if _, dup := seen[key]; dup {
+	if _, dup := seen[p.key]; dup {
 		return nil
 	}
-	seen[key] = struct{}{}
+	seen[p.key] = struct{}{}
 
 	if !e.opts.NoEagerPrune {
-		sat, err := e.timedSat(condition)
-		if err != nil {
-			return err
+		if !satKnown {
+			var err error
+			sat, err = e.timedSat(p.cond)
+			if err != nil {
+				return err
+			}
 		}
 		if !sat {
 			e.stats.Pruned++
@@ -798,14 +967,13 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 	}
 
 	if !e.opts.NoAbsorb {
-		dataKey := tp.DataKey()
-		byData := e.conds[pred]
+		byData := e.conds[p.pred]
 		if byData == nil {
 			byData = map[string][]*cond.Formula{}
-			e.conds[pred] = byData
+			e.conds[p.pred] = byData
 		}
-		if existing := byData[dataKey]; len(existing) > 0 {
-			implied, err := e.timedImplies(condition, cond.Or(existing...))
+		if existing := byData[p.dataKey]; len(existing) > 0 {
+			implied, err := e.absorbed(p.cond, existing)
 			if err != nil {
 				return err
 			}
@@ -814,24 +982,47 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 				return nil
 			}
 		}
-		byData[dataKey] = append(byData[dataKey], condition)
+		byData[p.dataKey] = append(byData[p.dataKey], p.cond)
 	}
 
-	if err := e.bud.AddTuples(1, "derived relation "+pred); err != nil {
+	if err := e.bud.AddTuples(1, "derived relation "+p.pred); err != nil {
 		return err
 	}
-	rel := e.store.Ensure(pred, len(values))
-	if err := rel.Insert(tp); err != nil {
-		return err
-	}
+	e.pending = append(e.pending, pendingInsert{pred: p.pred, tp: p.tp})
 	e.stats.Derived++
 	if e.trace != nil {
-		d := Derivation{Rule: r.String(), Sources: make([]Source, len(srcs))}
-		copy(d.Sources, srcs)
-		e.trace[traceKey(pred, tp)] = d
+		e.trace[traceKey(p.pred, p.tp)] = Derivation{Rule: p.ruleStr, Sources: p.srcs}
 	}
-	sink(pred, tp)
+	sink(p.pred, p.tp)
 	return nil
+}
+
+// absorbed decides whether condition is implied by the disjunction of
+// the conditions already derived for the same data part. A syntactic
+// fast path answers for free when some existing condition is literally
+// true, identical to condition, or one of condition's own conjuncts
+// (condition = g ∧ rest ⇒ g ⇒ the disjunction); only the residual
+// semantic probe pays a solver Implies, counted in AbsorbProbes.
+func (e *engine) absorbed(condition *cond.Formula, existing []*cond.Formula) (bool, error) {
+	ck := condition.Key()
+	var conj map[string]bool
+	for _, g := range existing {
+		if g.IsTrue() || g.Key() == ck {
+			return true, nil
+		}
+		if conj == nil {
+			cs := condition.Conjuncts()
+			conj = make(map[string]bool, len(cs))
+			for _, c := range cs {
+				conj[c.Key()] = true
+			}
+		}
+		if conj[g.Key()] {
+			return true, nil
+		}
+	}
+	e.stats.AbsorbProbes++
+	return e.timedImplies(condition, cond.Or(existing...))
 }
 
 // finalPrune removes contradictory tuples from the derived relations

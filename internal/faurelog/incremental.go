@@ -156,8 +156,10 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	}
 	// As in run(): wall clock and total solver time are both read once,
 	// after every phase, so the split cannot misattribute late solver
-	// work (the deferred prune) to the relational column.
-	e.stats.SQLTime = time.Since(start) - e.stats.SolverTime
+	// work (the deferred prune) to the relational column; parallel runs
+	// clamp at zero because summed per-worker solver time can exceed
+	// the wall clock.
+	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()
@@ -193,39 +195,25 @@ func (e *engine) propagate(rules []Rule, seed delta, evalSpan obs.Span, stratum 
 		if iter >= e.opts.maxIters() {
 			return nil, fmt.Errorf("faurelog: incremental fixpoint did not converge within %d iterations", e.opts.maxIters())
 		}
-		if err := e.checkpoint(stratum, iter); err != nil {
-			return nil, err
-		}
-		var itSpan obs.Span
-		if e.obsOn {
-			itSpan = evalSpan.StartChild("iteration",
-				obs.Int("stratum", int64(stratum)), obs.Int("round", int64(iter)))
-		}
 		next := delta{}
 		sink := func(pred string, tp ctable.Tuple) {
 			next[pred] = append(next[pred], tp)
 			produced[pred] = append(produced[pred], tp)
 		}
-		fired := false
+		var units []unit
 		for _, r := range rules {
 			for i, a := range r.Body {
 				d := cur[a.Pred]
 				if len(d) == 0 {
 					continue
 				}
-				fired = true
-				if err := e.deriveRuleObserved(r, i, d, sink, itSpan); err != nil {
-					if e.obsOn {
-						itSpan.End()
-					}
-					return nil, e.annotate(err, stratum, iter)
-				}
+				units = append(units, unit{r: r, deltaIdx: i, delta: d})
 			}
 		}
-		if e.obsOn {
-			itSpan.End()
+		if err := e.runRound(units, sink, evalSpan, stratum, iter); err != nil {
+			return nil, err
 		}
-		if !fired || len(next) == 0 {
+		if len(units) == 0 || len(next) == 0 {
 			return produced, nil
 		}
 		cur = next

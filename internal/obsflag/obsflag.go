@@ -51,6 +51,7 @@ type Flags struct {
 	timeout   *time.Duration
 	maxSteps  *int64
 	maxTuples *int64
+	parallel  *int
 	reg       *obs.Registry
 	srv       *obs.DebugServer
 	bud       *budget.B
@@ -65,8 +66,13 @@ func Register(fs *flag.FlagSet) *Flags {
 	f.timeout = fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited); exceeding it degrades to a partial result and exit code 3")
 	f.maxSteps = fs.Int64("max-solver-steps", 0, "solver search-step budget (0 = unlimited)")
 	f.maxTuples = fs.Int64("max-tuples", 0, "derived-tuple budget (0 = unlimited)")
+	f.parallel = fs.Int("parallel", 1, "evaluation worker goroutines (results are identical at any count; 1 = sequential)")
 	return f
 }
+
+// Workers returns the requested evaluation worker count (the -parallel
+// flag; 1 when unset).
+func (f *Flags) Workers() int { return *f.parallel }
 
 // Limits returns the budget limits the flags request (zero fields are
 // unlimited).

@@ -5,11 +5,20 @@
 // column, the list of tuples holding a c-variable there (which can
 // match any constant subject to a condition, so every constant probe
 // must also consider them).
+//
+// Concurrency contract: reads (Rel, Tuple, All, Candidates, Len) are
+// safe from any number of goroutines as long as no goroutine mutates
+// the store concurrently (Insert, Ensure, Replace). The parallel
+// evaluation engine relies on exactly this phased discipline — workers
+// read a frozen store during a round, the coordinator writes only at
+// iteration barriers. The probe/scan counters are atomic so concurrent
+// readers do not race on them.
 package relstore
 
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"faure/internal/cond"
 	"faure/internal/ctable"
@@ -27,10 +36,17 @@ type Relation struct {
 	colConst []map[string][]int
 	colCVar  [][]int
 
-	// Stats
-	Probes int // indexed constant probes served
-	Scans  int // full scans served
+	// Stats; atomic because probes and scans are served concurrently by
+	// the parallel engine's workers.
+	probes atomic.Int64 // indexed constant probes served
+	scans  atomic.Int64 // full scans served
 }
+
+// ProbeCount returns how many indexed constant probes were served.
+func (r *Relation) ProbeCount() int64 { return r.probes.Load() }
+
+// ScanCount returns how many full scans were served.
+func (r *Relation) ScanCount() int64 { return r.scans.Load() }
 
 // NewRelation returns an empty indexed relation.
 func NewRelation(name string, arity int) *Relation {
@@ -85,7 +101,7 @@ func (r *Relation) Tuple(i int) ctable.Tuple { return r.tuples[i] }
 
 // All returns every tuple index (a full scan).
 func (r *Relation) All() []int {
-	r.Scans++
+	r.scans.Add(1)
 	out := make([]int, len(r.tuples))
 	for i := range out {
 		out[i] = i
@@ -102,7 +118,7 @@ func (r *Relation) Candidates(col int, key cond.Term) []int {
 	if key.IsCVar() || col < 0 || col >= r.Arity {
 		return r.All()
 	}
-	r.Probes++
+	r.probes.Add(1)
 	consts := r.colConst[col][constKey(key)]
 	cvars := r.colCVar[col]
 	if len(cvars) == 0 {

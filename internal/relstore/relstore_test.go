@@ -62,8 +62,8 @@ func TestCandidatesStats(t *testing.T) {
 	r := sampleRelation(t)
 	r.Candidates(0, cond.Int(1))
 	r.All()
-	if r.Probes != 1 || r.Scans != 1 {
-		t.Errorf("stats = probes %d scans %d", r.Probes, r.Scans)
+	if r.ProbeCount() != 1 || r.ScanCount() != 1 {
+		t.Errorf("stats = probes %d scans %d", r.ProbeCount(), r.ScanCount())
 	}
 }
 

@@ -72,20 +72,34 @@ type Domains map[string]Domain
 // Stats counts the work a solver has performed.
 type Stats struct {
 	SatCalls  int // top-level satisfiability decisions
-	CacheHits int // decisions answered from the memo cache
+	CacheHits int // decisions answered from the memo cache (own or shared)
 	EnumNodes int // finite-domain enumeration tree nodes visited
 	DPLLNodes int // residual case-split nodes visited
 }
 
+// Add accumulates other into s — the parallel engine merges each
+// worker solver's counters into the base solver's at iteration
+// barriers.
+func (s *Stats) Add(other Stats) {
+	s.SatCalls += other.SatCalls
+	s.CacheHits += other.CacheHits
+	s.EnumNodes += other.EnumNodes
+	s.DPLLNodes += other.DPLLNodes
+}
+
 // Solver decides conditions under a fixed domain map. It memoises
-// results by canonical formula key; it is not safe for concurrent use.
+// results by canonical formula key; one Solver is not safe for
+// concurrent use — the parallel engine gives each worker its own
+// instance, sharing decisions through a read-only Memo (see
+// SetSharedMemo).
 type Solver struct {
-	doms     Domains
-	satCache map[string]satResult
-	// Memoisation caps the cache so pathological workloads cannot
-	// retain unbounded memory.
-	cacheLimit int
-	stats      Stats
+	doms Domains
+	// cache holds this solver's own memo entries; shared is an optional
+	// read-only snapshot of decisions merged from other solvers at the
+	// caller's barriers.
+	cache  memoStore
+	shared *Memo
+	stats  Stats
 	// o receives per-call latency, cache hit rate, and condition-size
 	// distributions; obsOn gates every site so an unobserved solver
 	// pays one branch and no clock reads.
@@ -101,11 +115,84 @@ type satResult struct {
 	err error
 }
 
+// memoStore is a bounded memo map with clock (FIFO) eviction: once the
+// map reaches its limit, each new entry overwrites the oldest one
+// instead of being dropped, so long runs past the cap keep benefiting
+// from recent formulas.
+type memoStore struct {
+	limit int
+	m     map[string]satResult
+	ring  []string // insertion ring; ring[pos] is the next eviction victim
+	pos   int
+}
+
+func newMemoStore(limit int) memoStore {
+	return memoStore{limit: limit, m: make(map[string]satResult)}
+}
+
+func (c *memoStore) get(k string) (satResult, bool) {
+	r, ok := c.m[k]
+	return r, ok
+}
+
+func (c *memoStore) put(k string, r satResult) {
+	if c.limit <= 0 {
+		return
+	}
+	if _, exists := c.m[k]; exists {
+		c.m[k] = r
+		return
+	}
+	if len(c.m) >= c.limit {
+		delete(c.m, c.ring[c.pos])
+		c.ring[c.pos] = k
+		c.pos = (c.pos + 1) % len(c.ring)
+	} else {
+		c.ring = append(c.ring, k)
+	}
+	c.m[k] = r
+}
+
+func (c *memoStore) len() int { return len(c.m) }
+
+func (c *memoStore) reset(limit int) {
+	c.limit = limit
+	c.m = make(map[string]satResult)
+	c.ring = nil
+	c.pos = 0
+}
+
+// Memo is a satisfiability memo shared across solvers: per-worker
+// solvers look it up read-only while solving and flush their new
+// entries into it at iteration barriers. It is NOT internally
+// synchronised — the sharing discipline is phased: FlushMemo and
+// SetSharedMemo must not run concurrently with any solver that reads
+// the memo (the parallel engine flushes only between rounds, while no
+// worker is live).
+type Memo struct {
+	store memoStore
+}
+
+// DefaultCacheLimit bounds memo caches unless overridden.
+const DefaultCacheLimit = 1 << 20
+
+// NewMemo returns an empty shared memo bounded to limit entries
+// (clock-evicted beyond that); limit <= 0 uses DefaultCacheLimit.
+func NewMemo(limit int) *Memo {
+	if limit <= 0 {
+		limit = DefaultCacheLimit
+	}
+	return &Memo{store: newMemoStore(limit)}
+}
+
+// Len returns the number of memoised decisions.
+func (m *Memo) Len() int { return m.store.len() }
+
 // New returns a solver over the given domains. The map is captured by
 // reference; callers may keep registering variables before use but
 // must not mutate it concurrently with solving.
 func New(doms Domains) *Solver {
-	return &Solver{doms: doms, satCache: make(map[string]satResult), cacheLimit: 1 << 20, o: obs.Nop}
+	return &Solver{doms: doms, cache: newMemoStore(DefaultCacheLimit), o: obs.Nop}
 }
 
 // SetObserver routes the solver's metrics — sat/implication latency,
@@ -124,14 +211,38 @@ func (s *Solver) SetObserver(o obs.Observer) {
 // handed a fresh budget.
 func (s *Solver) SetBudget(b *budget.B) { s.bud = b }
 
-// SetCacheLimit bounds the memo cache; 0 disables memoisation (the
-// ablation benches use this to quantify what the cache buys).
+// SetCacheLimit bounds the memo cache, resetting its contents; 0
+// disables memoisation (the ablation benches use this to quantify
+// what the cache buys). Past the limit the cache clock-evicts the
+// oldest entry rather than refusing new ones.
 func (s *Solver) SetCacheLimit(n int) {
-	s.cacheLimit = n
-	if n == 0 {
-		s.satCache = map[string]satResult{}
-	}
+	s.cache.reset(n)
 }
+
+// SetSharedMemo attaches a shared memo consulted (read-only) when the
+// solver's own cache misses. Phased discipline: the memo must not be
+// flushed into while any solver holding it may be solving.
+func (s *Solver) SetSharedMemo(m *Memo) { s.shared = m }
+
+// FlushMemo moves this solver's memo entries into m (subject to m's
+// eviction policy), clears the local cache, and returns how many new
+// entries were transferred. The parallel engine calls this per worker
+// at iteration barriers, while no worker goroutine is live.
+func (s *Solver) FlushMemo(m *Memo) int {
+	n := 0
+	for k, r := range s.cache.m {
+		if _, ok := m.store.get(k); !ok {
+			m.store.put(k, r)
+			n++
+		}
+	}
+	s.cache.reset(s.cache.limit)
+	return n
+}
+
+// AddStats merges another solver's counters into this one — worker
+// solvers fold into the base solver at iteration barriers.
+func (s *Solver) AddStats(other Stats) { s.stats.Add(other) }
 
 // Stats returns a copy of the solver's counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -160,7 +271,12 @@ func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 		s.o.Count("solver.sat_calls", 1)
 		s.o.Observe("solver.condition_atoms", float64(len(f.Atoms())))
 	}
-	if r, ok := s.satCache[f.Key()]; ok {
+	key := f.Key()
+	r, ok := s.cache.get(key)
+	if !ok && s.shared != nil {
+		r, ok = s.shared.store.get(key)
+	}
+	if ok {
 		s.stats.CacheHits++
 		if s.obsOn {
 			s.o.Count("solver.cache_hits", 1)
@@ -172,12 +288,12 @@ func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 	// A budget trip is a property of this run, not of the formula:
 	// caching it would poison the memo for a later run under a fresh
 	// budget.
-	if _, budgetErr := budget.As(err); !budgetErr && len(s.satCache) < s.cacheLimit {
-		s.satCache[f.Key()] = satResult{sat, err}
+	if _, budgetErr := budget.As(err); !budgetErr {
+		s.cache.put(key, satResult{sat, err})
 	}
 	if s.obsOn {
 		s.o.ObserveDuration("solver.sat_latency", time.Since(start))
-		s.o.SetGauge("solver.cache_size", float64(len(s.satCache)))
+		s.o.SetGauge("solver.cache_size", float64(s.cache.len()))
 	}
 	return sat, err
 }

@@ -1,0 +1,211 @@
+package faure_test
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"faure"
+	"faure/internal/budget"
+	"faure/internal/faultinject"
+)
+
+// dumpTables renders every table of a database — names, tuple data,
+// conditions and row order — into one canonical string, so equality is
+// the bit-for-bit determinism the parallel engine guarantees.
+func dumpTables(db *faure.Database) string {
+	var names []string
+	for name := range db.Tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "== %s\n", name)
+		for i, tp := range db.Tables[name].Tuples {
+			fmt.Fprintf(&b, "%5d %s\n", i, tp.Key())
+		}
+	}
+	return b.String()
+}
+
+// table4Workloads runs the paper's Table 4 query chain (q4–q5 reach,
+// then q6, q7 and q8 over it) at the given worker count and returns
+// the result databases keyed by query name.
+func table4Workloads(t *testing.T, workers int) map[string]*faure.Database {
+	t.Helper()
+	opts := faure.WithWorkers(faure.Options{}, workers)
+	r := faure.GenerateRIB(faure.RIBConfig{Prefixes: 80, PoolSize: 10, Seed: 3})
+	fwd := r.ForwardingDatabase()
+
+	out := map[string]*faure.Database{}
+	reach, err := faure.Eval(faure.ReachabilityProgram(), fwd, opts)
+	if err != nil {
+		t.Fatalf("workers=%d q4-q5: %v", workers, err)
+	}
+	out["q4-q5"] = reach.DB
+	q6, err := faure.Eval(faure.TwoLinkFailureProgram("x", "y", "z"), reach.DB, opts)
+	if err != nil {
+		t.Fatalf("workers=%d q6: %v", workers, err)
+	}
+	out["q6"] = q6.DB
+	q7, err := faure.Eval(faure.PinnedPairFailureProgram(2, 5, "y"), q6.DB, opts)
+	if err != nil {
+		t.Fatalf("workers=%d q7: %v", workers, err)
+	}
+	out["q7"] = q7.DB
+	q8, err := faure.Eval(faure.AtLeastOneFailureProgram(1, "y", "z"), reach.DB, opts)
+	if err != nil {
+		t.Fatalf("workers=%d q8: %v", workers, err)
+	}
+	out["q8"] = q8.DB
+	return out
+}
+
+// TestParallelTable4Determinism runs the full Table 4 workload chain
+// sequentially and with 8 workers: every result database must be
+// bit-for-bit identical (tuples, conditions and row order).
+func TestParallelTable4Determinism(t *testing.T) {
+	seq := table4Workloads(t, 1)
+	par := table4Workloads(t, 8)
+	for _, name := range []string{"q4-q5", "q6", "q7", "q8"} {
+		want, got := dumpTables(seq[name]), dumpTables(par[name])
+		if want != got {
+			t.Errorf("%s: parallel tables diverge from sequential\nseq:\n%.2000s\npar:\n%.2000s", name, want, got)
+		}
+	}
+}
+
+// TestParallelVerifierVerdicts runs the §5 enterprise verification
+// ladder at both worker counts: verdict, decision level and reason
+// must be identical.
+func TestParallelVerifierVerdicts(t *testing.T) {
+	known := []faure.Constraint{faure.Clb(), faure.Cs()}
+	update := faure.ListingFourUpdate()
+	state := faure.EnterpriseState(false)
+	for _, target := range []faure.Constraint{faure.T1(), faure.T2()} {
+		type verdict struct {
+			verdict faure.Verdict
+			level   string
+			reason  string
+		}
+		run := func(workers int) verdict {
+			v := &faure.Verifier{
+				Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(),
+				Workers: workers,
+			}
+			rep, level, err := v.Ladder(target, known, &update, state)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", target.Name, workers, err)
+			}
+			return verdict{rep.Verdict, level, rep.Reason}
+		}
+		seq := run(1)
+		if par := run(8); par != seq {
+			t.Errorf("%s: verdicts diverge: seq=%+v par=%+v", target.Name, seq, par)
+		}
+	}
+}
+
+// TestParallelBudgetTruncationParity trips a derived-tuple budget: the
+// charge happens on the serial commit path in both engines, so the
+// truncated partial results must also be identical.
+func TestParallelBudgetTruncationParity(t *testing.T) {
+	run := func(workers int) string {
+		t.Helper()
+		bud := faure.NewBudget(nil, faure.Budget{Tuples: 400})
+		opts := faure.WithWorkers(faure.WithBudget(faure.Options{}, bud), workers)
+		r := faure.GenerateRIB(faure.RIBConfig{Prefixes: 80, PoolSize: 10, Seed: 3})
+		res, err := faure.Eval(faure.ReachabilityProgram(), r.ForwardingDatabase(), opts)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Truncated == nil {
+			t.Fatalf("workers=%d: tuple budget did not trip", workers)
+		}
+		return dumpTables(res.DB)
+	}
+	seq := run(1)
+	for _, workers := range []int{2, 8} {
+		if par := run(workers); par != seq {
+			t.Errorf("workers=%d: truncated tables diverge from sequential", workers)
+		}
+	}
+}
+
+// TestParallelInjectedTripParity injects a failure at a fixed fixpoint
+// checkpoint — the coordinator fires it once per round at any worker
+// count — and checks the truncated results match.
+func TestParallelInjectedTripParity(t *testing.T) {
+	trip := &budget.Exceeded{Kind: budget.Tuples, Limit: 1, Where: "injected"}
+	run := func(workers int) string {
+		t.Helper()
+		faultinject.Arm(faultinject.FaurelogIteration, 2, trip)
+		defer faultinject.Disarm()
+		r := faure.GenerateRIB(faure.RIBConfig{Prefixes: 60, PoolSize: 10, Seed: 5})
+		res, err := faure.Eval(faure.ReachabilityProgram(), r.ForwardingDatabase(),
+			faure.WithWorkers(faure.Options{}, workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if res.Truncated == nil {
+			t.Fatalf("workers=%d: injected trip did not truncate", workers)
+		}
+		return dumpTables(res.DB)
+	}
+	seq := run(1)
+	if par := run(8); par != seq {
+		t.Errorf("injected-trip truncations diverge between 1 and 8 workers")
+	}
+}
+
+// TestParallelSpeedupSmoke checks the point of the exercise: on a
+// multi-core machine, 8 workers must beat 1 worker on the solver-heavy
+// q4-q5 and q6 workloads. Wall-clock assertions are inherently noisy,
+// so each configuration takes its best of two runs. Skipped on a
+// single CPU, where no speedup is possible.
+func TestParallelSpeedupSmoke(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skipf("NumCPU=%d: parallel speedup is not demonstrable", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive sweep in -short mode")
+	}
+	r := faure.GenerateRIB(faure.RIBConfig{Prefixes: 1500, PoolSize: 10, Seed: 1})
+	fwd := r.ForwardingDatabase()
+
+	timeEval := func(prog *faure.Program, db *faure.Database, workers int) (time.Duration, *faure.Database) {
+		t.Helper()
+		var best time.Duration
+		var out *faure.Database
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			res, err := faure.Eval(prog, db, faure.WithWorkers(faure.Options{}, workers))
+			wall := time.Since(start)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if out == nil || wall < best {
+				best, out = wall, res.DB
+			}
+		}
+		return best, out
+	}
+
+	seqReach, reachDB := timeEval(faure.ReachabilityProgram(), fwd, 1)
+	parReach, _ := timeEval(faure.ReachabilityProgram(), fwd, 8)
+	if parReach >= seqReach {
+		t.Errorf("q4-q5: 8 workers (%v) not faster than 1 worker (%v)", parReach, seqReach)
+	}
+	seqQ6, _ := timeEval(faure.TwoLinkFailureProgram("x", "y", "z"), reachDB, 1)
+	parQ6, _ := timeEval(faure.TwoLinkFailureProgram("x", "y", "z"), reachDB, 8)
+	if parQ6 >= seqQ6 {
+		t.Errorf("q6: 8 workers (%v) not faster than 1 worker (%v)", parQ6, seqQ6)
+	}
+	t.Logf("q4-q5: 1w=%v 8w=%v (%.2fx); q6: 1w=%v 8w=%v (%.2fx)",
+		seqReach, parReach, float64(seqReach)/float64(parReach),
+		seqQ6, parQ6, float64(seqQ6)/float64(parQ6))
+}

@@ -64,7 +64,10 @@ type Table4Row struct {
 	Derived    int
 	Pruned     int
 	Absorbed   int
-	SatCalls   int
+	// AbsorbProbes counts the absorption checks that needed a semantic
+	// solver probe (the syntactic conjunct fast path answers the rest).
+	AbsorbProbes int
+	SatCalls     int
 }
 
 // rowFromStats builds a Table4Row from one evaluation's statistics.
@@ -76,10 +79,11 @@ func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 		Wall:       s.SQLTime + s.SolverTime,
 		Tuples:     tuples,
 		Iterations: s.Iterations,
-		Derived:    s.Derived,
-		Pruned:     s.Pruned,
-		Absorbed:   s.Absorbed,
-		SatCalls:   s.SatCalls,
+		Derived:      s.Derived,
+		Pruned:       s.Pruned,
+		Absorbed:     s.Absorbed,
+		AbsorbProbes: s.AbsorbProbes,
+		SatCalls:     s.SatCalls,
 	}
 }
 
