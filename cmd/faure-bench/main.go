@@ -86,6 +86,13 @@ type benchWorkload struct {
 	AbsorbProbes int `json:"absorb_probes"`
 	SatCalls     int `json:"sat_calls"`
 	Tuples       int `json:"tuples"`
+	// Intern counters: condition intern-table hit/miss deltas
+	// attributed to this workload's evaluation and the table's live
+	// node count when it finished (process-wide, monotonic across the
+	// sweep).
+	InternHits   int64 `json:"intern_hits"`
+	InternMisses int64 `json:"intern_misses"`
+	InternLive   int64 `json:"intern_live"`
 	// Wall1WMS and Speedup are set when the sweep ran with -parallel
 	// N>1: the same workload's single-worker wall time and the ratio
 	// wall_1w_ms / wall_ms.
@@ -105,6 +112,17 @@ type benchReport struct {
 	// sweep completed); the workloads list then holds what finished.
 	Truncated string          `json:"truncated,omitempty"`
 	Workloads []benchWorkload `json:"workloads"`
+	// Intern is the final process-wide snapshot of the condition
+	// intern table (hash-consed formula DAG).
+	Intern benchIntern `json:"intern"`
+}
+
+// benchIntern mirrors faure.InternStats in the JSON schema.
+type benchIntern struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Live      int64 `json:"live"`
+	Evictions int64 `json:"evictions"`
 }
 
 // run executes the sweep (and optional ablations), prints the Table 4
@@ -224,6 +242,9 @@ func buildReport(results []*faure.Table4Result, baselines []*faure.Table4Result,
 				AbsorbProbes: row.AbsorbProbes,
 				SatCalls:     row.SatCalls,
 				Tuples:       row.Tuples,
+				InternHits:   row.InternHits,
+				InternMisses: row.InternMisses,
+				InternLive:   row.InternLive,
 			}
 			if i < len(baselines) && j < len(baselines[i].Rows) {
 				b := baselines[i].Rows[j]
@@ -235,6 +256,8 @@ func buildReport(results []*faure.Table4Result, baselines []*faure.Table4Result,
 			report.Workloads = append(report.Workloads, wl)
 		}
 	}
+	is := faure.CondInternStats()
+	report.Intern = benchIntern{Hits: is.Hits, Misses: is.Misses, Live: is.Live, Evictions: is.Evictions}
 	return report
 }
 

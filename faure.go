@@ -72,7 +72,15 @@ type (
 	Solver = solver.Solver
 	// World is one concrete instantiation of a database.
 	World = ctable.World
+	// InternStats is a snapshot of the global condition intern table
+	// (hash-consed formula DAG) counters.
+	InternStats = cond.InternStats
 )
+
+// CondInternStats reads the current counters of the global condition
+// intern table: constructor hits/misses since process start and the
+// number of live (distinct, never-reclaimed) formula nodes.
+func CondInternStats() InternStats { return cond.InternStatsNow() }
 
 // Fauré-log types.
 type (

@@ -291,10 +291,10 @@ func TestAssignAtom(t *testing.T) {
 	a := NewAtom(CVar("x"), Eq, Int(1))
 	b := NewAtom(CVar("y"), Eq, Int(2))
 	f := Or(AtomF(a), AtomF(b))
-	if g := f.AssignAtom(a.Key(), true); !g.IsTrue() {
+	if g := f.AssignAtom(a, true); !g.IsTrue() {
 		t.Errorf("assigning a=true in a||b should give true, got %v", g)
 	}
-	if g := f.AssignAtom(a.Key(), false); !g.Equal(AtomF(b)) {
+	if g := f.AssignAtom(a, false); !g.Equal(AtomF(b)) {
 		t.Errorf("assigning a=false in a||b should give b, got %v", g)
 	}
 }

@@ -3,6 +3,7 @@ package cond
 import (
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // FKind discriminates the variants of a Formula node.
@@ -23,33 +24,47 @@ const (
 	FNot
 )
 
-// Formula is an immutable boolean formula over comparison atoms. Build
-// formulas only through the constructors (True, False, AtomF, And, Or,
-// Not); they flatten, deduplicate and sort sub-formulas so that
-// logically identical spellings share a canonical Key, which both the
-// solver cache and fixpoint-termination dedup rely on.
+// Formula is an immutable, hash-consed boolean formula over comparison
+// atoms. Build formulas only through the constructors (True, False,
+// AtomF, And, Or, Not); they flatten, deduplicate and sort
+// sub-formulas into a canonical form and intern the result in the
+// package's global table (see intern.go), so logically identical
+// spellings are the *same pointer*. Equality is pointer equality,
+// dedup/memo keys are ID(), and sub-formulas are structurally shared
+// across every formula that contains them.
 //
-// Immutability is a concurrency contract: every derived field (key,
-// atom count) is computed at construction and never changes, and the
-// package's only shared values are the interned True/False singletons.
-// Formulas may therefore be read — compared, traversed, solved —
-// from any number of goroutines without synchronisation; the parallel
-// evaluation engine depends on this.
+// Immutability is a concurrency contract: every derived field (id,
+// hash, atom count, free c-variables) is fixed at intern time, and the
+// lazy key cache is an atomic pointer. Formulas may therefore be read
+// — compared, traversed, solved — from any number of goroutines
+// without synchronisation; the parallel evaluation engine depends on
+// this.
 type Formula struct {
-	Kind   FKind
-	Atom   Atom       // valid when Kind == FAtom
-	Sub    []*Formula // children for FAnd/FOr (>=2), FNot (==1)
-	key    string     // canonical key, computed at construction
-	nAtoms int        // atom occurrences, computed at construction
+	Kind FKind
+	Atom Atom       // valid when Kind == FAtom
+	Sub  []*Formula // children for FAnd/FOr (>=2), FNot (==1)
+
+	id     uint64                 // interned identity, unique per canonical node
+	hash   uint64                 // structural hash (content-only, stable across runs)
+	nAtoms int                    // atom occurrences, computed at intern time
+	cvars  []string               // sorted distinct free c-variables, computed at intern time
+	key    atomic.Pointer[string] // lazily built canonical key, for dumps/trace only
 }
 
 var (
-	trueF  = &Formula{Kind: FTrue, key: "T"}
-	falseF = &Formula{Kind: FFalse, key: "F"}
+	trueF  = newSingleton(FTrue, "T")
+	falseF = newSingleton(FFalse, "F")
 )
 
+// ID returns the formula's interned identity: two formulas are the
+// same canonical node iff their IDs are equal. IDs are assigned in
+// first-intern order, so they are stable within a process but NOT
+// across runs (and under the parallel engine not across worker
+// counts); use them as map keys, never to order output.
+func (f *Formula) ID() uint64 { return f.id }
+
 // NAtoms returns the number of atom occurrences in f. It is computed
-// at construction, so budget checks on condition growth cost a field
+// at intern time, so budget checks on condition growth cost a field
 // read rather than a tree walk.
 func (f *Formula) NAtoms() int { return f.nAtoms }
 
@@ -86,7 +101,7 @@ func AtomF(a Atom) *Formula {
 			return falseF
 		}
 	}
-	return &Formula{Kind: FAtom, Atom: a, key: "a:" + a.Key(), nAtoms: 1}
+	return internNode(FAtom, a, nil, 1)
 }
 
 // foldSum moves integer-constant summands of a multi-term sum into the
@@ -133,7 +148,8 @@ func combine(kind FKind, fs []*Formula) *Formula {
 		identity, absorber = falseF, trueF
 	}
 	flat := make([]*Formula, 0, len(fs))
-	seen := make(map[string]bool, len(fs))
+	// Children are interned, so a pointer set dedups structurally.
+	seen := make(map[*Formula]bool, len(fs))
 	var add func(f *Formula) bool
 	add = func(f *Formula) bool {
 		switch {
@@ -149,10 +165,10 @@ func combine(kind FKind, fs []*Formula) *Formula {
 			}
 			return true
 		}
-		if seen[f.key] {
+		if seen[f] {
 			return true
 		}
-		seen[f.key] = true
+		seen[f] = true
 		flat = append(flat, f)
 		return true
 	}
@@ -167,34 +183,48 @@ func combine(kind FKind, fs []*Formula) *Formula {
 	case 1:
 		return flat[0]
 	}
-	sort.Slice(flat, func(i, j int) bool { return flat[i].key < flat[j].key })
+	// Canonical child order is purely structural (compareNode): it must
+	// not involve intern ids, whose assignment order is racy under the
+	// parallel engine, or determinism across worker counts would break.
+	sort.Slice(flat, func(i, j int) bool { return compareNode(flat[i], flat[j]) < 0 })
 	// Detect directly complementary atom pairs: a ∧ ¬a = false,
 	// a ∨ ¬a = true. Only syntactic complements are caught here; the
 	// solver handles the general case.
-	for _, f := range flat {
-		if f.Kind == FAtom && seen["a:"+f.Atom.Negate().canonical().Key()] {
-			return absorber
-		}
-		if f.Kind == FNot && seen[f.Sub[0].key] {
-			return absorber
-		}
-	}
-	var b strings.Builder
-	if kind == FAnd {
-		b.WriteString("&(")
-	} else {
-		b.WriteString("|(")
-	}
 	n := 0
-	for i, f := range flat {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(f.key)
+	for _, f := range flat {
 		n += f.nAtoms
+		if f.Kind == FAtom {
+			if neg := lookupAtom(f.Atom.Negate().canonical()); neg != nil && seen[neg] {
+				return absorber
+			}
+		}
+		if f.Kind == FNot && seen[f.Sub[0]] {
+			return absorber
+		}
 	}
-	b.WriteByte(')')
-	return &Formula{Kind: kind, Sub: flat, key: b.String(), nAtoms: n}
+	return internNode(kind, Atom{}, flat, n)
+}
+
+// compareNode is the canonical structural order on interned formulas:
+// kind first, then atom order for atoms, recursive child order
+// otherwise. It never consults intern ids (see combine) and two nodes
+// compare equal iff they are the same pointer.
+func compareNode(a, b *Formula) int {
+	if a == b {
+		return 0
+	}
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	if a.Kind == FAtom {
+		return a.Atom.Compare(b.Atom)
+	}
+	for i := 0; i < len(a.Sub) && i < len(b.Sub); i++ {
+		if c := compareNode(a.Sub[i], b.Sub[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a.Sub) - len(b.Sub)
 }
 
 // Not returns the negation of f. Negations of atoms are rewritten to
@@ -210,15 +240,62 @@ func Not(f *Formula) *Formula {
 	case FNot:
 		return f.Sub[0]
 	}
-	return &Formula{Kind: FNot, Sub: []*Formula{f}, key: "!(" + f.key + ")", nAtoms: f.nAtoms}
+	return internNode(FNot, Atom{}, []*Formula{f}, f.nAtoms)
 }
 
 // Key returns the canonical key of the formula. Formulas with equal
-// keys are syntactically identical after canonicalisation.
-func (f *Formula) Key() string { return f.key }
+// keys are syntactically identical after canonicalisation (for
+// interned formulas the converse also holds: equal keys imply the same
+// pointer). The key is built lazily on first call — it exists for
+// dumps, traces and goldens; hot paths compare pointers and use ID().
+func (f *Formula) Key() string {
+	if k := f.key.Load(); k != nil {
+		return *k
+	}
+	var b strings.Builder
+	f.buildKey(&b)
+	k := b.String()
+	// Racing stores write identical strings; either winning is fine.
+	f.key.Store(&k)
+	return k
+}
 
-// Equal reports canonical syntactic equality.
-func (f *Formula) Equal(g *Formula) bool { return f.key == g.key }
+func (f *Formula) buildKey(b *strings.Builder) {
+	if k := f.key.Load(); k != nil {
+		b.WriteString(*k)
+		return
+	}
+	switch f.Kind {
+	case FTrue:
+		b.WriteByte('T')
+	case FFalse:
+		b.WriteByte('F')
+	case FAtom:
+		b.WriteString("a:")
+		b.WriteString(f.Atom.Key())
+	case FNot:
+		b.WriteString("!(")
+		f.Sub[0].buildKey(b)
+		b.WriteByte(')')
+	default:
+		if f.Kind == FAnd {
+			b.WriteString("&(")
+		} else {
+			b.WriteString("|(")
+		}
+		for i, s := range f.Sub {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			s.buildKey(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Equal reports canonical syntactic equality. Interning makes this a
+// pointer compare.
+func (f *Formula) Equal(g *Formula) bool { return f == g }
 
 // String renders the formula in the concrete syntax.
 func (f *Formula) String() string {
@@ -248,35 +325,42 @@ func (f *Formula) String() string {
 }
 
 // CVars returns the sorted, duplicate-free names of the c-variables
-// occurring in f.
-func (f *Formula) CVars() []string {
-	set := map[string]bool{}
-	f.walkAtoms(func(a Atom) {
-		for _, n := range a.CVars(nil) {
-			set[n] = true
+// occurring in f. The slice is precomputed at intern time and shared
+// by every caller (and possibly by parent formulas): callers must not
+// modify it.
+func (f *Formula) CVars() []string { return f.cvars }
+
+// Atoms returns every distinct atom occurring in f, in canonical atom
+// order.
+func (f *Formula) Atoms() []Atom {
+	var out []Atom
+	f.walkAtoms(func(a Atom) { out = append(out, a) })
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	w := 0
+	for i, a := range out {
+		if i == 0 || a.Compare(out[w-1]) != 0 {
+			out[w] = a
+			w++
 		}
-	})
-	out := make([]string, 0, len(set))
-	for n := range set {
-		out = append(out, n)
 	}
-	sort.Strings(out)
-	return out
+	return out[:w]
 }
 
-// Atoms returns every distinct atom occurring in f, in key order.
-func (f *Formula) Atoms() []Atom {
-	seen := map[string]bool{}
-	var out []Atom
-	f.walkAtoms(func(a Atom) {
-		k := a.Key()
-		if !seen[k] {
-			seen[k] = true
-			out = append(out, a)
+// FirstAtom returns the leftmost atom occurrence in f's canonical
+// form, without collecting or sorting the full atom set. The solver
+// uses it as a deterministic case-split pivot.
+func (f *Formula) FirstAtom() (Atom, bool) {
+	switch f.Kind {
+	case FAtom:
+		return f.Atom, true
+	case FAnd, FOr, FNot:
+		for _, s := range f.Sub {
+			if a, ok := s.FirstAtom(); ok {
+				return a, true
+			}
 		}
-	})
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
-	return out
+	}
+	return Atom{}, false
 }
 
 func (f *Formula) walkAtoms(fn func(Atom)) {
@@ -291,9 +375,10 @@ func (f *Formula) walkAtoms(fn func(Atom)) {
 }
 
 // Subst substitutes c-variables in f according to m, re-simplifying as
-// atoms become ground.
+// atoms become ground. Sub-trees whose free variables miss m entirely
+// are returned as-is (shared, not rebuilt).
 func (f *Formula) Subst(m map[string]Term) *Formula {
-	if len(m) == 0 {
+	if len(m) == 0 || !f.touchesAny(m) {
 		return f
 	}
 	switch f.Kind {
@@ -314,16 +399,28 @@ func (f *Formula) Subst(m map[string]Term) *Formula {
 	return Or(sub...)
 }
 
-// AssignAtom replaces every occurrence of the atom with key atomKey by
-// the constant val, simplifying the result. The solver uses this for
-// case splitting; note that it is purely syntactic (the complementary
-// atom, if also present, is not touched).
-func (f *Formula) AssignAtom(atomKey string, val bool) *Formula {
+// touchesAny reports whether any of f's free c-variables is a key of
+// m, using the precomputed sorted cvars set.
+func (f *Formula) touchesAny(m map[string]Term) bool {
+	for _, v := range f.cvars {
+		if _, ok := m[v]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// AssignAtom replaces every occurrence of the atom a (which must be in
+// canonical form, as returned by Atoms/FirstAtom) by the constant val,
+// simplifying the result. The solver uses this for case splitting;
+// note that it is purely syntactic (the complementary atom, if also
+// present, is not touched). Sub-trees not containing a are shared.
+func (f *Formula) AssignAtom(a Atom, val bool) *Formula {
 	switch f.Kind {
 	case FTrue, FFalse:
 		return f
 	case FAtom:
-		if "a:"+atomKey == f.key {
+		if f.Atom.Equal(a) {
 			if val {
 				return trueF
 			}
@@ -331,11 +428,20 @@ func (f *Formula) AssignAtom(atomKey string, val bool) *Formula {
 		}
 		return f
 	case FNot:
-		return Not(f.Sub[0].AssignAtom(atomKey, val))
+		g := f.Sub[0].AssignAtom(a, val)
+		if g == f.Sub[0] {
+			return f
+		}
+		return Not(g)
 	}
 	sub := make([]*Formula, len(f.Sub))
+	changed := false
 	for i, s := range f.Sub {
-		sub[i] = s.AssignAtom(atomKey, val)
+		sub[i] = s.AssignAtom(a, val)
+		changed = changed || sub[i] != s
+	}
+	if !changed {
+		return f
 	}
 	if f.Kind == FAnd {
 		return And(sub...)

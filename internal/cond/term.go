@@ -266,6 +266,40 @@ func (a Atom) Negate() Atom {
 	return Atom{Sum: a.Sum, Op: a.Op.Negate(), RHS: a.RHS}
 }
 
+// Compare orders canonicalised atoms structurally: by summand list
+// (element-wise, shorter first on a tie), then operator, then right-
+// hand side. Equal atoms compare 0; the order agrees with nothing but
+// itself and exists so formula children sort deterministically without
+// materialising keys.
+func (a Atom) Compare(b Atom) int {
+	if d := len(a.Sum) - len(b.Sum); d != 0 {
+		return d
+	}
+	for i, t := range a.Sum {
+		if c := t.Compare(b.Sum[i]); c != 0 {
+			return c
+		}
+	}
+	if d := int(a.Op) - int(b.Op); d != 0 {
+		return d
+	}
+	return a.RHS.Compare(b.RHS)
+}
+
+// Equal reports whether two canonicalised atoms are syntactically
+// identical.
+func (a Atom) Equal(b Atom) bool {
+	if len(a.Sum) != len(b.Sum) || a.Op != b.Op || !a.RHS.Equal(b.RHS) {
+		return false
+	}
+	for i, t := range a.Sum {
+		if !t.Equal(b.Sum[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // Key returns a canonical string identifying the atom; equal keys mean
 // syntactically identical (canonicalised) atoms.
 func (a Atom) Key() string {

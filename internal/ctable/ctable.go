@@ -70,9 +70,61 @@ func (t Tuple) DataKey() string {
 	return b.String()
 }
 
-// Key identifies the tuple up to canonical condition equality.
+// Key identifies the tuple up to canonical condition equality. It
+// materialises strings and exists for dumps, goldens and diagnostics;
+// hot-path dedup uses Identity.
 func (t Tuple) Key() string {
 	return t.DataKey() + "  [" + t.Condition().Key() + "]"
+}
+
+// TupleID identifies a tuple without materialising strings: a 128-bit
+// hash of the data part plus the interned id of the condition. Two
+// tuples with equal TupleIDs have (up to the negligible 128-bit
+// collision probability) identical values and the identical canonical
+// condition. Condition ids are process-local, so TupleIDs must never
+// be serialised or compared across runs.
+type TupleID struct {
+	D1, D2 uint64
+	Cond   uint64
+}
+
+const (
+	fnvOffset64  = 14695981039346656037
+	fnvOffset64b = 0xcbf29ce484222325 ^ 0x9e3779b97f4a7c15 // independent second stream
+	fnvPrime64   = 1099511628211
+)
+
+// DataHash returns a 128-bit hash of the tuple's data part (two
+// independent FNV-style streams over the same bytes), the no-allocation
+// counterpart of DataKey.
+func (t Tuple) DataHash() [2]uint64 {
+	var h1, h2 uint64 = fnvOffset64, fnvOffset64b
+	mix := func(b byte) {
+		h1 = (h1 ^ uint64(b)) * fnvPrime64 // FNV-1a
+		h2 = h2*fnvPrime64 ^ uint64(b)     // FNV-1
+	}
+	mixU64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(v))
+			v >>= 8
+		}
+	}
+	for _, v := range t.Values {
+		mix(byte(v.Kind))
+		mixU64(uint64(v.I))
+		mixU64(uint64(len(v.S)))
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return [2]uint64{h1, h2}
+}
+
+// Identity returns the tuple's hot-path identity: data hash plus the
+// interned condition id.
+func (t Tuple) Identity() TupleID {
+	d := t.DataHash()
+	return TupleID{D1: d[0], D2: d[1], Cond: t.Condition().ID()}
 }
 
 // String renders the tuple in the concrete syntax used by the CLI:

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"faure/internal/budget"
@@ -119,6 +118,13 @@ type Stats struct {
 	// free, so the gap between absorption candidates and probes is the
 	// fast path's hit count.
 	AbsorbProbes int
+	// Intern counters snapshot the condition intern table (see
+	// internal/cond): Hits/Misses are this run's constructor lookups
+	// (deltas over the run), Live is the table's node count at the end
+	// of the run (process-wide — the table is global and monotonic).
+	InternHits   int64
+	InternMisses int64
+	InternLive   int64
 }
 
 // Add accumulates other into s.
@@ -131,6 +137,10 @@ func (s *Stats) Add(other Stats) {
 	s.Iterations += other.Iterations
 	s.SatCalls += other.SatCalls
 	s.AbsorbProbes += other.AbsorbProbes
+	s.InternHits += other.InternHits
+	s.InternMisses += other.InternMisses
+	// Live is a gauge over a shared global table, not per-run work.
+	s.InternLive = max(s.InternLive, other.InternLive)
 }
 
 // Result is the outcome of an evaluation: the database extended with
@@ -211,13 +221,13 @@ type engine struct {
 	opts  Options
 	store *relstore.Store
 	sol   *solver.Solver
-	// seen dedups tuples per predicate by a 128-bit hash of the full
-	// key (data + canonical condition); hashing instead of retaining
-	// the key strings keeps large runs in memory (collision odds at
-	// 10^7 tuples are ~10^-25). conds lists the conditions derived per
-	// data part, for absorption.
-	seen  map[string]map[[2]uint64]struct{}
-	conds map[string]map[string][]*cond.Formula
+	// seen dedups tuples per predicate by identity: a 128-bit hash of
+	// the data part plus the interned condition id — no key strings are
+	// ever built (collision odds at 10^7 tuples are ~10^-25). conds
+	// lists the conditions derived per data part (by data hash), for
+	// absorption.
+	seen  map[string]map[ctable.TupleID]struct{}
+	conds map[string]map[[2]uint64][]*cond.Formula
 	// pending buffers the tuples committed during the current round;
 	// they reach the relation store only at the round barrier, so every
 	// join in a round — sequential or on a worker — reads the store as
@@ -248,6 +258,9 @@ type engine struct {
 	// solvers and the base solver share through round-barrier flushes.
 	wrk  []*evalWorker
 	memo *solver.Memo
+	// internStart snapshots the global condition intern table at engine
+	// construction, so the run's Stats can report hit/miss deltas.
+	internStart cond.InternStats
 }
 
 func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error) {
@@ -260,12 +273,14 @@ func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error
 		opts:  opts,
 		store: relstore.FromDatabase(db),
 		sol:   solver.New(db.Doms),
-		seen:  map[string]map[[2]uint64]struct{}{},
-		conds: map[string]map[string][]*cond.Formula{},
+		seen:  map[string]map[ctable.TupleID]struct{}{},
+		conds: map[string]map[[2]uint64][]*cond.Formula{},
 		arity: map[string]int{},
 		o:     obs.OrNop(opts.Observer),
 		obsOn: opts.Observer != nil && opts.Observer.Enabled(),
 		bud:   opts.tracker(),
+
+		internStart: cond.InternStatsNow(),
 	}
 	e.sol.SetBudget(e.bud)
 	if opts.NoSolverCache {
@@ -359,11 +374,25 @@ func (e *engine) run() error {
 	// exceed the wall clock; the relational column clamps at zero
 	// instead of going negative.
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
+	e.captureInternStats()
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()
 	}
 	return err
+}
+
+// captureInternStats folds the condition intern table's counters into
+// the run's Stats: hit/miss deltas since engine construction plus the
+// current live-node gauge. Other engines in the process move the
+// global counters too, so the deltas are an attribution, not an exact
+// accounting, under concurrent engines — fine for the benchmark runs
+// that read them.
+func (e *engine) captureInternStats() {
+	now := cond.InternStatsNow()
+	e.stats.InternHits = now.Hits - e.internStart.Hits
+	e.stats.InternMisses = now.Misses - e.internStart.Misses
+	e.stats.InternLive = now.Live
 }
 
 // runStrata evaluates each stratum to fixpoint, in dependency order.
@@ -405,6 +434,9 @@ func (e *engine) reportTotals(evalSpan obs.Span) {
 	e.o.Count("eval.iterations", int64(e.stats.Iterations))
 	e.o.Count("eval.sat_calls", int64(e.stats.SatCalls))
 	e.o.Count("eval.absorb_probes", int64(e.stats.AbsorbProbes))
+	e.o.Count("eval.intern_hits", e.stats.InternHits)
+	e.o.Count("eval.intern_misses", e.stats.InternMisses)
+	e.o.SetGauge("cond.intern_live", float64(e.stats.InternLive))
 	evalSpan.SetAttrs(
 		obs.Int("derived", int64(e.stats.Derived)),
 		obs.Int("pruned", int64(e.stats.Pruned)),
@@ -875,10 +907,10 @@ type prepared struct {
 	pred    string
 	tp      ctable.Tuple
 	cond    *cond.Formula
-	key     [2]uint64
-	dataKey string   // set unless absorption is off
-	ruleStr string   // set when tracing
-	srcs    []Source // copied, set when tracing
+	key     ctable.TupleID
+	dataKey [2]uint64 // data-part hash, for absorption grouping
+	ruleStr string    // set when tracing
+	srcs    []Source  // copied, set when tracing
 }
 
 // prepareEmit builds the head tuple for completed bindings. It is safe
@@ -923,9 +955,13 @@ func (e *engine) prepareEmit(r Rule, bind map[string]cond.Term, conds []*cond.Fo
 		}
 	}
 	tp := ctable.NewTuple(values, condition)
-	p := prepared{pred: r.Head.Pred, tp: tp, cond: condition, key: hashKey(tp.Key())}
-	if !e.opts.NoAbsorb {
-		p.dataKey = tp.DataKey()
+	d := tp.DataHash()
+	p := prepared{
+		pred:    r.Head.Pred,
+		tp:      tp,
+		cond:    condition,
+		key:     ctable.TupleID{D1: d[0], D2: d[1], Cond: condition.ID()},
+		dataKey: d,
 	}
 	if e.trace != nil {
 		p.ruleStr = r.String()
@@ -944,7 +980,7 @@ func (e *engine) prepareEmit(r Rule, bind map[string]cond.Term, conds []*cond.Fo
 func (e *engine) commit(p prepared, satKnown, sat bool, sink func(string, ctable.Tuple)) error {
 	seen := e.seen[p.pred]
 	if seen == nil {
-		seen = map[[2]uint64]struct{}{}
+		seen = map[ctable.TupleID]struct{}{}
 		e.seen[p.pred] = seen
 	}
 	if _, dup := seen[p.key]; dup {
@@ -969,7 +1005,7 @@ func (e *engine) commit(p prepared, satKnown, sat bool, sink func(string, ctable
 	if !e.opts.NoAbsorb {
 		byData := e.conds[p.pred]
 		if byData == nil {
-			byData = map[string][]*cond.Formula{}
+			byData = map[[2]uint64][]*cond.Formula{}
 			e.conds[p.pred] = byData
 		}
 		if existing := byData[p.dataKey]; len(existing) > 0 {
@@ -1004,20 +1040,19 @@ func (e *engine) commit(p prepared, satKnown, sat bool, sink func(string, ctable
 // (condition = g ∧ rest ⇒ g ⇒ the disjunction); only the residual
 // semantic probe pays a solver Implies, counted in AbsorbProbes.
 func (e *engine) absorbed(condition *cond.Formula, existing []*cond.Formula) (bool, error) {
-	ck := condition.Key()
-	var conj map[string]bool
+	var conj map[*cond.Formula]bool
 	for _, g := range existing {
-		if g.IsTrue() || g.Key() == ck {
+		if g.IsTrue() || g == condition {
 			return true, nil
 		}
 		if conj == nil {
 			cs := condition.Conjuncts()
-			conj = make(map[string]bool, len(cs))
+			conj = make(map[*cond.Formula]bool, len(cs))
 			for _, c := range cs {
-				conj[c.Key()] = true
+				conj[c] = true
 			}
 		}
-		if conj[g.Key()] {
+		if conj[g] {
 			return true, nil
 		}
 	}
@@ -1209,13 +1244,3 @@ func Stratify(p *Program) ([][]string, error) {
 	return strata, nil
 }
 
-// hashKey folds a dedup key into 128 bits (two FNV-64 passes with
-// distinct seeds), trading an astronomically small collision risk for
-// not retaining millions of key strings.
-func hashKey(key string) [2]uint64 {
-	h1 := fnv.New64a()
-	h1.Write([]byte(key))
-	h2 := fnv.New64()
-	h2.Write([]byte(key))
-	return [2]uint64{h1.Sum64(), h2.Sum64()}
-}

@@ -44,15 +44,16 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	// Seed the dedup and absorption state with everything already
 	// present, so re-derivations of existing tuples are no-ops.
 	for name, tbl := range prev.Tables {
-		seen := map[[2]uint64]struct{}{}
+		seen := map[ctable.TupleID]struct{}{}
 		for _, tp := range tbl.Tuples {
-			seen[hashKey(tp.Key())] = struct{}{}
+			seen[tp.Identity()] = struct{}{}
 		}
 		e.seen[name] = seen
 		if !opts.NoAbsorb && idb[name] {
-			byData := map[string][]*cond.Formula{}
+			byData := map[[2]uint64][]*cond.Formula{}
 			for _, tp := range tbl.Tuples {
-				byData[tp.DataKey()] = append(byData[tp.DataKey()], tp.Condition())
+				d := tp.DataHash()
+				byData[d] = append(byData[d], tp.Condition())
 			}
 			e.conds[name] = byData
 		}
@@ -84,7 +85,7 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 		}
 		seen := e.seen[pred]
 		if seen == nil {
-			seen = map[[2]uint64]struct{}{}
+			seen = map[ctable.TupleID]struct{}{}
 			e.seen[pred] = seen
 		}
 		for _, tp := range tuples {
@@ -94,7 +95,7 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 			if tp.Condition().IsFalse() {
 				continue
 			}
-			k := hashKey(tp.Key())
+			k := tp.Identity()
 			if _, dup := seen[k]; dup {
 				continue
 			}
@@ -160,6 +161,7 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	// clamp at zero because summed per-worker solver time can exceed
 	// the wall clock.
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
+	e.captureInternStats()
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()

@@ -216,7 +216,7 @@ func (e *engine) runRoundParallel(units []unit, sink func(string, ctable.Tuple),
 // emissions in order. It touches only frozen engine state, the
 // concurrency-safe budget, and the worker's own solver.
 func (e *engine) runUnit(w *evalWorker, u unit, ur *unitResult) {
-	var localSeen map[[2]uint64]struct{}
+	var localSeen map[ctable.TupleID]struct{}
 	emit := func(r Rule, bind map[string]cond.Term, conds []*cond.Formula, srcs []Source) error {
 		p, live, err := e.prepareEmit(r, bind, conds, srcs)
 		if err != nil {
@@ -240,7 +240,7 @@ func (e *engine) runUnit(w *evalWorker, u unit, ur *unitResult) {
 			return nil
 		}
 		if localSeen == nil {
-			localSeen = map[[2]uint64]struct{}{}
+			localSeen = map[ctable.TupleID]struct{}{}
 		}
 		localSeen[p.key] = struct{}{}
 		c := candidate{p: p}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"time"
 
 	"faure/internal/budget"
@@ -69,18 +68,15 @@ func Run(script *Script, db *ctable.Database, opts Options) (*ctable.Database, *
 		sol:   solver.New(db.Doms),
 		opts:  opts,
 		bud:   opts.tracker(),
-		seen:  map[string]map[[2]uint64]struct{}{},
 		attrs: map[string][]string{},
 		db:    db,
 	}
 	ex.sol.SetBudget(ex.bud)
 	for name, t := range db.Tables {
 		ex.attrs[name] = t.Schema.Attrs
-		seen := map[[2]uint64]struct{}{}
-		for _, tp := range t.Tuples {
-			seen[hashTupleKey(tp.Key())] = struct{}{}
-		}
-		ex.seen[name] = seen
+		// Insert dedups against the relation's identity index (data hash
+		// + interned condition id), seeded from the existing tuples.
+		ex.store.Rel(name).TrackIdentity()
 	}
 	start := time.Now()
 	for _, st := range script.Stmts {
@@ -121,20 +117,9 @@ type executor struct {
 	sol   *solver.Solver
 	opts  Options
 	bud   *budget.B
-	// seen dedups per table by a 128-bit hash of the tuple key, so
-	// large runs do not retain millions of key strings.
-	seen  map[string]map[[2]uint64]struct{}
 	attrs map[string][]string
 	db    *ctable.Database
 	stats Stats
-}
-
-func hashTupleKey(key string) [2]uint64 {
-	h1 := fnv.New64a()
-	h1.Write([]byte(key))
-	h2 := fnv.New64()
-	h2.Write([]byte(key))
-	return [2]uint64{h1.Sum64(), h2.Sum64()}
 }
 
 func (ex *executor) exec(st Stmt) error {
@@ -143,9 +128,8 @@ func (ex *executor) exec(st Stmt) error {
 		if ex.store.Rel(s.Table) != nil {
 			return fmt.Errorf("minisql: table %s already exists", s.Table)
 		}
-		ex.store.Ensure(s.Table, len(s.Cols))
+		ex.store.Ensure(s.Table, len(s.Cols)).TrackIdentity()
 		ex.attrs[s.Table] = s.Cols
-		ex.seen[s.Table] = map[[2]uint64]struct{}{}
 		return nil
 	case *InsertValues:
 		return ex.insertValues(s)
@@ -222,12 +206,9 @@ func (ex *executor) insert(table string, rel *relstore.Relation, tp ctable.Tuple
 	if tp.Condition().IsFalse() {
 		return nil
 	}
-	seen := ex.seen[table]
-	key := hashTupleKey(tp.Key())
-	if _, dup := seen[key]; dup {
+	if rel.HasIdentity(tp) {
 		return nil
 	}
-	seen[key] = struct{}{}
 	if err := ex.bud.AddTuples(1, "table "+table); err != nil {
 		return err
 	}
@@ -343,6 +324,7 @@ func (ex *executor) deleteUnsat(table string) error {
 		return fmt.Errorf("minisql: delete from unknown table %s", table)
 	}
 	kept := relstore.NewRelation(table, rel.Arity)
+	kept.TrackIdentity()
 	for _, idx := range rel.All() {
 		tp := rel.Tuple(idx)
 		start := time.Now()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"faure/internal/budget"
+	"faure/internal/cond"
 	"faure/internal/obs"
 )
 
@@ -135,6 +136,14 @@ func (f *Flags) Close(w io.Writer) error {
 	if f.reg == nil || *f.metrics == "" {
 		return nil
 	}
+	// Fold the process-wide condition intern-table counters into the
+	// snapshot. The *_total names are process-cumulative, distinct from
+	// the per-run eval.intern_* deltas an engine publishes.
+	is := cond.InternStatsNow()
+	f.reg.Count("cond.intern_hits_total", is.Hits)
+	f.reg.Count("cond.intern_misses_total", is.Misses)
+	f.reg.Count("cond.intern_evictions_total", is.Evictions)
+	f.reg.SetGauge("cond.intern_live", float64(is.Live))
 	snap := f.reg.Snapshot()
 	var out string
 	if *f.metrics == "json" {

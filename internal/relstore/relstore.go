@@ -36,10 +36,41 @@ type Relation struct {
 	colConst []map[string][]int
 	colCVar  [][]int
 
+	// ids is the optional exact-duplicate index over tuple identities
+	// (data hash + interned condition id); enabled by TrackIdentity.
+	// Nil means identity is not tracked and HasIdentity always reports
+	// false.
+	ids map[ctable.TupleID]struct{}
+
 	// Stats; atomic because probes and scans are served concurrently by
 	// the parallel engine's workers.
 	probes atomic.Int64 // indexed constant probes served
 	scans  atomic.Int64 // full scans served
+}
+
+// TrackIdentity enables the exact-duplicate identity index,
+// backfilling it from the tuples already present. Engines that dedup
+// on insert (fixpoint evaluation, minisql exec) enable it; plain
+// storage does not pay for it.
+func (r *Relation) TrackIdentity() {
+	if r.ids != nil {
+		return
+	}
+	r.ids = make(map[ctable.TupleID]struct{}, len(r.tuples))
+	for _, tp := range r.tuples {
+		r.ids[tp.Identity()] = struct{}{}
+	}
+}
+
+// HasIdentity reports whether a tuple with tp's exact identity (same
+// values, same canonical condition) is already present. It always
+// reports false when TrackIdentity has not been called.
+func (r *Relation) HasIdentity(tp ctable.Tuple) bool {
+	if r.ids == nil {
+		return false
+	}
+	_, ok := r.ids[tp.Identity()]
+	return ok
 }
 
 // ProbeCount returns how many indexed constant probes were served.
@@ -82,6 +113,9 @@ func (r *Relation) Insert(tp ctable.Tuple) error {
 	}
 	idx := len(r.tuples)
 	r.tuples = append(r.tuples, tp)
+	if r.ids != nil {
+		r.ids[tp.Identity()] = struct{}{}
+	}
 	for c, v := range tp.Values {
 		if v.IsCVar() {
 			r.colCVar[c] = append(r.colCVar[c], idx)

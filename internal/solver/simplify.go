@@ -17,10 +17,10 @@ func Simplify(s *Solver, f *cond.Formula) (*cond.Formula, error) {
 		return nil, err
 	}
 	// Hit rate: how often simplification actually shrinks a condition
-	// (compared by canonical key, so a no-op rewrite does not count).
+	// (interned, so a no-op rewrite is the same pointer and not counted).
 	if s.obsOn {
 		s.o.Count("solver.simplify_calls", 1)
-		if out.Key() != f.Key() {
+		if out != f {
 			s.o.Count("solver.simplify_reduced", 1)
 		}
 	}

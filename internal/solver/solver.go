@@ -118,24 +118,26 @@ type satResult struct {
 // memoStore is a bounded memo map with clock (FIFO) eviction: once the
 // map reaches its limit, each new entry overwrites the oldest one
 // instead of being dropped, so long runs past the cap keep benefiting
-// from recent formulas.
+// from recent formulas. Keys are interned formula ids (cond.Formula.ID)
+// — process-local, so the memo must never be serialised; as a pure
+// cache that is fine.
 type memoStore struct {
 	limit int
-	m     map[string]satResult
-	ring  []string // insertion ring; ring[pos] is the next eviction victim
+	m     map[uint64]satResult
+	ring  []uint64 // insertion ring; ring[pos] is the next eviction victim
 	pos   int
 }
 
 func newMemoStore(limit int) memoStore {
-	return memoStore{limit: limit, m: make(map[string]satResult)}
+	return memoStore{limit: limit, m: make(map[uint64]satResult)}
 }
 
-func (c *memoStore) get(k string) (satResult, bool) {
+func (c *memoStore) get(k uint64) (satResult, bool) {
 	r, ok := c.m[k]
 	return r, ok
 }
 
-func (c *memoStore) put(k string, r satResult) {
+func (c *memoStore) put(k uint64, r satResult) {
 	if c.limit <= 0 {
 		return
 	}
@@ -157,7 +159,7 @@ func (c *memoStore) len() int { return len(c.m) }
 
 func (c *memoStore) reset(limit int) {
 	c.limit = limit
-	c.m = make(map[string]satResult)
+	c.m = make(map[uint64]satResult)
 	c.ring = nil
 	c.pos = 0
 }
@@ -269,9 +271,9 @@ func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 	if s.obsOn {
 		start = time.Now()
 		s.o.Count("solver.sat_calls", 1)
-		s.o.Observe("solver.condition_atoms", float64(len(f.Atoms())))
+		s.o.Observe("solver.condition_atoms", float64(f.NAtoms()))
 	}
-	key := f.Key()
+	key := f.ID()
 	r, ok := s.cache.get(key)
 	if !ok && s.shared != nil {
 		r, ok = s.shared.store.get(key)
@@ -407,16 +409,15 @@ func (s *Solver) satResidual(f *cond.Formula, lits []literal) (bool, error) {
 	case cond.FTrue:
 		return theoryConsistent(lits)
 	}
-	atoms := f.Atoms()
-	if len(atoms) == 0 {
+	a, ok := f.FirstAtom()
+	if !ok {
 		// Canonicalisation guarantees atoms exist for FAtom/FAnd/FOr/FNot.
 		return false, fmt.Errorf("solver: formula %v has no atoms", f)
 	}
-	a := atoms[0]
-	negKey := a.Negate().Key()
+	na := a.Negate()
 	var firstErr error
 	for _, val := range [2]bool{true, false} {
-		g := f.AssignAtom(a.Key(), val).AssignAtom(negKey, !val)
+		g := f.AssignAtom(a, val).AssignAtom(na, !val)
 		branch := append(lits, literal{a, val})
 		// Early pruning: abandon the branch as soon as the literal set
 		// is already inconsistent.

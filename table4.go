@@ -68,6 +68,12 @@ type Table4Row struct {
 	// solver probe (the syntactic conjunct fast path answers the rest).
 	AbsorbProbes int
 	SatCalls     int
+	// Intern counters snapshot the condition intern table: hit/miss
+	// deltas attributed to this query's evaluation plus the table's
+	// live-node count when it finished (process-wide, monotonic).
+	InternHits   int64
+	InternMisses int64
+	InternLive   int64
 }
 
 // rowFromStats builds a Table4Row from one evaluation's statistics.
@@ -84,6 +90,9 @@ func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 		Absorbed:     s.Absorbed,
 		AbsorbProbes: s.AbsorbProbes,
 		SatCalls:     s.SatCalls,
+		InternHits:   s.InternHits,
+		InternMisses: s.InternMisses,
+		InternLive:   s.InternLive,
 	}
 }
 
