@@ -49,7 +49,7 @@ func main() {
 		os.Exit(obsflag.ExitError)
 	}
 	err = run(os.Stdout, sizes, *seed, *pool, *ablate, *jsonOut, *outPath,
-		faure.Options{Observer: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers()})
+		faure.Options{Observer: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers(), NoPlan: ob.NoPlan()})
 	_ = ob.Close(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure-bench:", err)
@@ -93,11 +93,30 @@ type benchWorkload struct {
 	InternHits   int64 `json:"intern_hits"`
 	InternMisses int64 `json:"intern_misses"`
 	InternLive   int64 `json:"intern_live"`
+	// Store access counters: indexed probes (single- and
+	// multi-column), deliberate full scans, degraded probes that fell
+	// back to a scan, multi-column bucket intersections, and the
+	// fraction of accesses an index answered.
+	StoreProbes      int64   `json:"store_probes"`
+	StoreMultiProbes int64   `json:"store_multi_probes"`
+	StoreScans       int64   `json:"store_scans"`
+	StoreFallbacks   int64   `json:"store_fallback_scans"`
+	Intersections    int64   `json:"store_intersections"`
+	ProbeHitRatio    float64 `json:"probe_hit_ratio"`
+	// Plan counters: rule bodies the cost-guided planner considered
+	// and how many it reordered away from written order.
+	PlansPlanned   int64 `json:"plans_planned"`
+	PlansReordered int64 `json:"plans_reordered"`
 	// Wall1WMS and Speedup are set when the sweep ran with -parallel
 	// N>1: the same workload's single-worker wall time and the ratio
 	// wall_1w_ms / wall_ms.
 	Wall1WMS float64 `json:"wall_1w_ms,omitempty"`
 	Speedup  float64 `json:"speedup,omitempty"`
+	// WallNoPlanMS and PlanSpeedup are set on the join workload: the
+	// same run with -no-plan (written-order evaluation) and the ratio
+	// wall_noplan_ms / wall_ms.
+	WallNoPlanMS float64 `json:"wall_noplan_ms,omitempty"`
+	PlanSpeedup  float64 `json:"plan_speedup,omitempty"`
 }
 
 // benchReport is the top-level JSON document.
@@ -138,6 +157,10 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 	// baselines holds the matching single-worker run of each sweep
 	// entry when -parallel N>1, for the per-workload speedup columns.
 	var baselines []*faure.Table4Result
+	// joins holds the join-planner stress workload at each size: the
+	// measured run, its single-worker counterpart (when -parallel
+	// N>1), and the written-order (-no-plan) counterpart.
+	var joins []joinRun
 	var truncated *faure.BudgetExceeded
 	for _, n := range sizes {
 		res, err := faure.RunTable4(faure.Table4Config{Prefixes: n, Seed: seed, PoolSize: pool, Options: opts})
@@ -158,6 +181,15 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 			}
 			baselines = append(baselines, base)
 		}
+		jr, err := runJoin(n, seed, workers, opts)
+		if err != nil {
+			return err
+		}
+		joins = append(joins, jr)
+		if jr.truncated != nil {
+			truncated = jr.truncated
+			break
+		}
 	}
 	fmt.Fprintln(w, "Table 4: running time of reachability analysis (synthetic RIB workload)")
 	fmt.Fprint(w, faure.FormatTable4(results))
@@ -172,6 +204,23 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 						float64(b.Wall)/float64(row.Wall))
 				}
 			}
+		}
+	}
+	if len(joins) > 0 {
+		fmt.Fprintln(w, "join-stress workload (fat-tree multi-way join, cost-guided planner):")
+		for _, j := range joins {
+			if j.res == nil {
+				continue
+			}
+			row := j.res.Row
+			fmt.Fprintf(w, "  join   prefixes=%-8d hosts=%-6d wall=%v tuples=%d probes=%d multi=%d scans=%d",
+				j.prefixes, j.res.Hosts, row.Wall, row.Tuples,
+				row.StoreProbes, row.StoreMultiProbes, row.StoreScans)
+			if j.noPlan != nil && row.Wall > 0 {
+				fmt.Fprintf(w, " wall_noplan=%v plan_speedup=%.2fx",
+					j.noPlan.Row.Wall, float64(j.noPlan.Row.Wall)/float64(row.Wall))
+			}
+			fmt.Fprintln(w)
 		}
 	}
 	if truncated != nil {
@@ -207,7 +256,7 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 	}
 
 	if jsonOut {
-		report := buildReport(results, baselines, seed, pool, workers)
+		report := buildReport(results, baselines, joins, seed, pool, workers)
 		if truncated != nil {
 			report.Truncated = truncated.Error()
 		}
@@ -222,35 +271,117 @@ func run(w io.Writer, sizes []int, seed int64, pool int, ablate, jsonOut bool, o
 	return nil
 }
 
+// joinRun is the join-stress workload at one sweep size: the measured
+// run, its single-worker counterpart (when -parallel N>1) and its
+// written-order (-no-plan) counterpart for the plan-speedup column.
+type joinRun struct {
+	prefixes  int
+	res       *faure.JoinStressResult
+	base      *faure.JoinStressResult
+	noPlan    *faure.JoinStressResult
+	truncated *faure.BudgetExceeded
+}
+
+// runJoin executes the join-stress workload at one sweep size. The
+// host count tracks the prefix count, capped at 1000: the
+// written-order (-no-plan) baseline the workload exists to measure is
+// quadratic in the host count, so larger sweeps would spend the whole
+// budget in the baseline run. The printed summary reports the actual
+// host count next to the sweep size.
+func runJoin(n int, seed int64, workers int, opts faure.Options) (joinRun, error) {
+	jr := joinRun{prefixes: n}
+	hosts := n
+	if hosts > 1000 {
+		hosts = 1000
+	}
+	res, err := faure.RunJoinStress(faure.JoinStressConfig{Hosts: hosts, Seed: seed, Options: opts})
+	if err != nil {
+		return jr, err
+	}
+	jr.res = res
+	if res.Truncated != nil {
+		jr.truncated = res.Truncated
+		return jr, nil
+	}
+	if workers > 1 {
+		seqOpts := opts
+		seqOpts.Workers = 1
+		jr.base, err = faure.RunJoinStress(faure.JoinStressConfig{Hosts: hosts, Seed: seed, Options: seqOpts})
+		if err != nil {
+			return jr, err
+		}
+	}
+	npOpts := opts
+	npOpts.NoPlan = true
+	jr.noPlan, err = faure.RunJoinStress(faure.JoinStressConfig{Hosts: hosts, Seed: seed, Options: npOpts})
+	if err != nil {
+		return jr, err
+	}
+	return jr, nil
+}
+
+// workloadFromRow converts one query's measurements into the JSON
+// workload entry.
+func workloadFromRow(row faure.Table4Row, prefixes int) benchWorkload {
+	return benchWorkload{
+		Name:         row.Query,
+		Prefixes:     prefixes,
+		WallMS:       float64(row.Wall.Microseconds()) / 1000,
+		SQLMS:        float64(row.SQL.Microseconds()) / 1000,
+		SolverMS:     float64(row.Solver.Microseconds()) / 1000,
+		Iterations:   row.Iterations,
+		Derived:      row.Derived,
+		Pruned:       row.Pruned,
+		Absorbed:     row.Absorbed,
+		AbsorbProbes: row.AbsorbProbes,
+		SatCalls:     row.SatCalls,
+		Tuples:       row.Tuples,
+		InternHits:   row.InternHits,
+		InternMisses: row.InternMisses,
+		InternLive:   row.InternLive,
+
+		StoreProbes:      row.StoreProbes,
+		StoreMultiProbes: row.StoreMultiProbes,
+		StoreScans:       row.StoreScans,
+		StoreFallbacks:   row.StoreFallbacks,
+		Intersections:    row.Intersections,
+		ProbeHitRatio:    row.ProbeHitRatio,
+		PlansPlanned:     row.PlansPlanned,
+		PlansReordered:   row.PlansReordered,
+	}
+}
+
 // buildReport converts the sweep results into the JSON document.
 // baselines, when non-empty, holds the single-worker counterpart of
-// each result group for the speedup columns.
-func buildReport(results []*faure.Table4Result, baselines []*faure.Table4Result, seed int64, pool int, workers int) benchReport {
+// each result group for the speedup columns; joins holds the
+// join-stress workload at each size.
+func buildReport(results []*faure.Table4Result, baselines []*faure.Table4Result, joins []joinRun, seed int64, pool int, workers int) benchReport {
 	report := benchReport{Benchmark: "table4", Seed: seed, Pool: pool, Workers: workers}
 	for i, res := range results {
 		for j, row := range res.Rows {
-			wl := benchWorkload{
-				Name:         row.Query,
-				Prefixes:     res.Prefixes,
-				WallMS:       float64(row.Wall.Microseconds()) / 1000,
-				SQLMS:        float64(row.SQL.Microseconds()) / 1000,
-				SolverMS:     float64(row.Solver.Microseconds()) / 1000,
-				Iterations:   row.Iterations,
-				Derived:      row.Derived,
-				Pruned:       row.Pruned,
-				Absorbed:     row.Absorbed,
-				AbsorbProbes: row.AbsorbProbes,
-				SatCalls:     row.SatCalls,
-				Tuples:       row.Tuples,
-				InternHits:   row.InternHits,
-				InternMisses: row.InternMisses,
-				InternLive:   row.InternLive,
-			}
+			wl := workloadFromRow(row, res.Prefixes)
 			if i < len(baselines) && j < len(baselines[i].Rows) {
 				b := baselines[i].Rows[j]
 				wl.Wall1WMS = float64(b.Wall.Microseconds()) / 1000
 				if row.Wall > 0 {
 					wl.Speedup = float64(b.Wall) / float64(row.Wall)
+				}
+			}
+			report.Workloads = append(report.Workloads, wl)
+		}
+		if i < len(joins) && joins[i].res != nil {
+			j := joins[i]
+			wl := workloadFromRow(j.res.Row, j.prefixes)
+			if j.base != nil {
+				wl.Wall1WMS = float64(j.base.Row.Wall.Microseconds()) / 1000
+				if j.res.Row.Wall > 0 {
+					wl.Speedup = float64(j.base.Row.Wall) / float64(j.res.Row.Wall)
+				}
+			}
+			if j.noPlan != nil {
+				wl.WallNoPlanMS = float64(j.noPlan.Row.Wall.Microseconds()) / 1000
+				if j.res.Row.Wall > 0 {
+					wl.PlanSpeedup = float64(j.noPlan.Row.Wall) / float64(j.res.Row.Wall)
 				}
 			}
 			report.Workloads = append(report.Workloads, wl)

@@ -69,16 +69,27 @@ func TestRunJSONReport(t *testing.T) {
 		if w.InternHits+w.InternMisses <= 0 || w.InternLive <= 0 {
 			t.Errorf("%s: intern counters not populated: %+v", w.Name, w)
 		}
+		if w.Name == "join" && (w.WallNoPlanMS <= 0 || w.PlanSpeedup <= 0) {
+			t.Errorf("join workload missing the -no-plan baseline columns: %+v", w)
+		}
 		w.WallMS, w.SQLMS, w.SolverMS = 0, 0, 0
 		w.InternHits, w.InternMisses, w.InternLive = 0, 0, 0
+		w.WallNoPlanMS, w.PlanSpeedup = 0, 0
 	}
 	golden := benchReport{
 		Benchmark: "table4", Seed: 1, Pool: 10, Workers: 1,
 		Workloads: []benchWorkload{
-			{Name: "q4-q5", Prefixes: 50, Iterations: 6, Derived: 1815, Pruned: 520, AbsorbProbes: 228, SatCalls: 2563, Tuples: 1815},
-			{Name: "q6", Prefixes: 50, Iterations: 1, Derived: 1815, AbsorbProbes: 228, SatCalls: 2043, Tuples: 1815},
-			{Name: "q7", Prefixes: 50, Iterations: 1, Derived: 17, Pruned: 2, AbsorbProbes: 3, SatCalls: 22, Tuples: 17},
-			{Name: "q8", Prefixes: 50, Iterations: 1, Derived: 293, AbsorbProbes: 65, SatCalls: 358, Tuples: 293},
+			{Name: "q4-q5", Prefixes: 50, Iterations: 6, Derived: 1815, Pruned: 520, AbsorbProbes: 228, SatCalls: 2563, Tuples: 1815,
+				StoreProbes: 1815, StoreScans: 2, ProbeHitRatio: 1815.0 / 1817.0, PlansPlanned: 7, PlansReordered: 1},
+			{Name: "q6", Prefixes: 50, Iterations: 1, Derived: 1815, AbsorbProbes: 228, SatCalls: 2043, Tuples: 1815,
+				StoreScans: 1},
+			{Name: "q7", Prefixes: 50, Iterations: 1, Derived: 17, Pruned: 2, AbsorbProbes: 3, SatCalls: 22, Tuples: 17,
+				StoreProbes: 1, ProbeHitRatio: 1},
+			{Name: "q8", Prefixes: 50, Iterations: 1, Derived: 293, AbsorbProbes: 65, SatCalls: 358, Tuples: 293,
+				StoreProbes: 1, ProbeHitRatio: 1},
+			{Name: "join", Prefixes: 50, Iterations: 3, Derived: 1784, Pruned: 2649, Absorbed: 1893, AbsorbProbes: 3054, SatCalls: 8771, Tuples: 1311,
+				StoreProbes: 495, StoreMultiProbes: 95, StoreScans: 11, Intersections: 26,
+				ProbeHitRatio: 590.0 / 601.0, PlansPlanned: 2, PlansReordered: 2},
 		},
 	}
 	if len(report.Workloads) != len(golden.Workloads) {
@@ -113,6 +124,7 @@ func TestRunJSONDeterministic(t *testing.T) {
 		for i := range r.Workloads {
 			w := &r.Workloads[i]
 			w.WallMS, w.SQLMS, w.SolverMS = 0, 0, 0
+			w.WallNoPlanMS, w.PlanSpeedup = 0, 0
 			// Intern counters vary with process history (a warm global
 			// intern table converts misses into hits); the determinism
 			// contract covers the evaluation counters, not them.

@@ -51,8 +51,8 @@ func main() {
 
 	exhausted := false
 	if *target == "" {
-		exhausted = runBuiltin(*withUpdate, *withState, ob.Observer(), ob.Budget(), ob.Workers())
-	} else if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob.Observer(), ob.Budget(), ob.Workers(), &exhausted); err != nil {
+		exhausted = runBuiltin(*withUpdate, *withState, ob)
+	} else if err := runFiles(*target, knownPaths, *updatePath, *statePath, ob, &exhausted); err != nil {
 		_ = ob.Close(os.Stderr)
 		fmt.Fprintln(os.Stderr, "faure-verify:", err)
 		os.Exit(obsflag.ExitCode(err))
@@ -65,8 +65,9 @@ func main() {
 	}
 }
 
-func runBuiltin(withUpdate, withState bool, o faure.Observer, bud *faure.BudgetTracker, workers int) bool {
-	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(), Obs: o, Budget: bud, Workers: workers}
+func runBuiltin(withUpdate, withState bool, ob *obsflag.Flags) bool {
+	v := &faure.Verifier{Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(),
+		Obs: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers(), NoPlan: ob.NoPlan()}
 	known := []faure.Constraint{faure.Clb(), faure.Cs()}
 	update := faure.ListingFourUpdate()
 	state := faure.EnterpriseState(false)
@@ -92,7 +93,7 @@ func runBuiltin(withUpdate, withState bool, o faure.Observer, bud *faure.BudgetT
 	return exhausted
 }
 
-func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, o faure.Observer, bud *faure.BudgetTracker, workers int, exhausted *bool) error {
+func runFiles(targetPath string, knownPaths []string, updatePath, statePath string, ob *obsflag.Flags, exhausted *bool) error {
 	target, err := loadConstraint(targetPath)
 	if err != nil {
 		return err
@@ -130,7 +131,7 @@ func runFiles(targetPath string, knownPaths []string, updatePath, statePath stri
 		}
 		doms = state.Doms
 	}
-	v := &faure.Verifier{Doms: doms, Obs: o, Budget: bud, Workers: workers}
+	v := &faure.Verifier{Doms: doms, Obs: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers(), NoPlan: ob.NoPlan()}
 	*exhausted = report(target.Name, v, target, known, update, state)
 	return nil
 }

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"flag"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"faure/internal/obsflag"
 )
 
 func write(t *testing.T, name, content string) string {
@@ -15,13 +18,29 @@ func write(t *testing.T, name, content string) string {
 	return p
 }
 
+// testFlags builds a default obsflag set (no flags passed) for driving
+// runBuiltin/runFiles in-process.
+func testFlags(t *testing.T) *obsflag.Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	ob := obsflag.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ob.Init(); err != nil {
+		t.Fatal(err)
+	}
+	return ob
+}
+
 func TestRunBuiltinVariants(t *testing.T) {
+	ob := testFlags(t)
 	// Smoke: the built-in scenario must not error in any configuration
 	// (it prints; errors would os.Exit, failing the test process).
-	runBuiltin(true, true, nil, nil, 1)
-	runBuiltin(true, false, nil, nil, 1)
-	runBuiltin(false, true, nil, nil, 1)
-	runBuiltin(false, false, nil, nil, 1)
+	runBuiltin(true, true, ob)
+	runBuiltin(true, false, ob)
+	runBuiltin(false, true, ob)
+	runBuiltin(false, false, ob)
 }
 
 func TestRunFiles(t *testing.T) {
@@ -33,40 +52,40 @@ func TestRunFiles(t *testing.T) {
 	update := write(t, "u.upd", `+fw(Mkt, CS).`)
 	state := write(t, "s.fdb", `r(Mkt, CS, 7000).`)
 
-	if err := runFiles(target, []string{known}, "", "", nil, nil, 1, new(bool)); err != nil {
+	if err := runFiles(target, []string{known}, "", "", testFlags(t), new(bool)); err != nil {
 		t.Errorf("constraints only: %v", err)
 	}
-	if err := runFiles(target, []string{known}, update, "", nil, nil, 1, new(bool)); err != nil {
+	if err := runFiles(target, []string{known}, update, "", testFlags(t), new(bool)); err != nil {
 		t.Errorf("with update: %v", err)
 	}
-	if err := runFiles(target, nil, "", state, nil, nil, 1, new(bool)); err != nil {
+	if err := runFiles(target, nil, "", state, testFlags(t), new(bool)); err != nil {
 		t.Errorf("with state (violated, prints derivations): %v", err)
 	}
-	if err := runFiles(target, nil, update, state, nil, nil, 1, new(bool)); err != nil {
+	if err := runFiles(target, nil, update, state, testFlags(t), new(bool)); err != nil {
 		t.Errorf("update+state: %v", err)
 	}
 }
 
 func TestRunFilesErrors(t *testing.T) {
 	target := write(t, "t.fl", `panic() :- r(x).`)
-	if err := runFiles("missing.fl", nil, "", "", nil, nil, 1, new(bool)); err == nil {
+	if err := runFiles("missing.fl", nil, "", "", testFlags(t), new(bool)); err == nil {
 		t.Errorf("missing target should error")
 	}
-	if err := runFiles(target, []string{"missing.fl"}, "", "", nil, nil, 1, new(bool)); err == nil {
+	if err := runFiles(target, []string{"missing.fl"}, "", "", testFlags(t), new(bool)); err == nil {
 		t.Errorf("missing known should error")
 	}
-	if err := runFiles(target, nil, "missing.upd", "", nil, nil, 1, new(bool)); err == nil {
+	if err := runFiles(target, nil, "missing.upd", "", testFlags(t), new(bool)); err == nil {
 		t.Errorf("missing update should error")
 	}
-	if err := runFiles(target, nil, "", "missing.fdb", nil, nil, 1, new(bool)); err == nil {
+	if err := runFiles(target, nil, "", "missing.fdb", testFlags(t), new(bool)); err == nil {
 		t.Errorf("missing state should error")
 	}
 	badProg := write(t, "bad.fl", `v(x) :- r(x).`) // no panic rule
-	if err := runFiles(badProg, nil, "", "", nil, nil, 1, new(bool)); err == nil {
+	if err := runFiles(badProg, nil, "", "", testFlags(t), new(bool)); err == nil {
 		t.Errorf("constraint without panic should error")
 	}
 	badUpd := write(t, "bad.upd", `lb(A).`)
-	if err := runFiles(target, nil, badUpd, "", nil, nil, 1, new(bool)); err == nil {
+	if err := runFiles(target, nil, badUpd, "", testFlags(t), new(bool)); err == nil {
 		t.Errorf("bad update should error")
 	}
 }

@@ -122,6 +122,7 @@ func cmdEval(args []string) error {
 	case "native":
 		res, err = faure.Eval(prog, db, faure.Options{
 			NoEagerPrune: *noPrune, NoAbsorb: *noAbsorb, NoIndex: *noIndex,
+			NoPlan:   ob.NoPlan(),
 			Trace:    *explain != "" || *trace,
 			Observer: ob.Observer(),
 			Budget:   ob.Budget(),

@@ -507,6 +507,18 @@ func AtLeastOneFailureProgram(src int, y, z string) *Program {
 // GenerateRIB builds the synthetic Table 4 workload.
 func GenerateRIB(cfg RIBConfig) *RIB { return rib.Generate(cfg) }
 
+// JoinTopoConfig parameterises the fat-tree join-stress topology.
+type JoinTopoConfig = network.JoinTopoConfig
+
+// JoinTopology compiles the fat-tree join-stress state (conditioned
+// links, c-variable uplinks, failure sample) into a database.
+func JoinTopology(cfg JoinTopoConfig) *Database { return network.JoinTopology(cfg) }
+
+// JoinStressProgram returns the multi-way join query over the
+// fat-tree state, written worst-first so the cost-guided planner has
+// something to improve.
+func JoinStressProgram() *Program { return network.JoinStressProgram() }
+
 // Enterprise scenario accessors (§5).
 var (
 	// EnterpriseDomains returns the §5 c-variable domains.

@@ -58,6 +58,9 @@ type Opts struct {
 	// Workers sets the parallelism of the inner fauré-log evaluations
 	// (<= 1 is sequential; results are identical at any count).
 	Workers int
+	// NoPlan disables cost-guided join planning in the inner
+	// evaluations (results are identical either way).
+	NoPlan bool
 }
 
 // PanicPred is the reserved 0-ary violation predicate.
@@ -244,7 +247,7 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 	if err != nil {
 		return false, err
 	}
-	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o, Budget: opt.Budget, Workers: opt.Workers})
+	res, err := faurelog.Eval(container, db, faurelog.Options{Observer: o, Budget: opt.Budget, Workers: opt.Workers, NoPlan: opt.NoPlan})
 	if err != nil {
 		return false, err
 	}

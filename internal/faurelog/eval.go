@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"faure/internal/budget"
@@ -33,6 +34,14 @@ type Options struct {
 	// NoIndex forces full scans instead of hash-index probes in the
 	// relational store.
 	NoIndex bool
+	// NoPlan disables cost-guided join planning: rule bodies are then
+	// evaluated in written order (negations last), probing at most one
+	// indexed column per literal — the pre-planner behaviour, kept as a
+	// debugging escape hatch. Planning never changes results: the
+	// planned executor discovers matches in cost order but replays them
+	// in written order, so tables, conditions and row order are
+	// bit-for-bit identical either way (see plan.go).
+	NoPlan bool
 	// NoSolverCache disables the solver's memoisation of
 	// satisfiability results (ablation knob).
 	NoSolverCache bool
@@ -125,6 +134,33 @@ type Stats struct {
 	InternHits   int64
 	InternMisses int64
 	InternLive   int64
+	// Store counters snapshot the relation store's index usage over the
+	// run: single-column probes, multi-column intersection probes,
+	// deliberate full scans, probes that fell back to full scans
+	// (c-variable keys, columns the index cannot see), and how many
+	// column candidate lists were intersected beyond the first.
+	Probes        int64
+	MultiProbes   int64
+	Scans         int64
+	FallbackScans int64
+	Intersections int64
+	// Planner counters: how many rule applications were planned and how
+	// many of those the cost model actually reordered away from the
+	// written literal order.
+	PlansPlanned   int64
+	PlansReordered int64
+}
+
+// ProbeHitRatio is the fraction of store lookups the hash indexes
+// answered without scanning the whole relation; 1 when no lookup was
+// served.
+func (s Stats) ProbeHitRatio() float64 {
+	return relstore.Counters{
+		Probes:      s.Probes,
+		MultiProbes: s.MultiProbes,
+		Scans:       s.Scans,
+		Fallbacks:   s.FallbackScans,
+	}.HitRatio()
 }
 
 // Add accumulates other into s.
@@ -141,6 +177,13 @@ func (s *Stats) Add(other Stats) {
 	s.InternMisses += other.InternMisses
 	// Live is a gauge over a shared global table, not per-run work.
 	s.InternLive = max(s.InternLive, other.InternLive)
+	s.Probes += other.Probes
+	s.MultiProbes += other.MultiProbes
+	s.Scans += other.Scans
+	s.FallbackScans += other.FallbackScans
+	s.Intersections += other.Intersections
+	s.PlansPlanned += other.PlansPlanned
+	s.PlansReordered += other.PlansReordered
 }
 
 // Result is the outcome of an evaluation: the database extended with
@@ -258,6 +301,10 @@ type engine struct {
 	// solvers and the base solver share through round-barrier flushes.
 	wrk  []*evalWorker
 	memo *solver.Memo
+	// Planner counters; atomic because parallel workers plan their own
+	// units against the frozen store.
+	plansPlanned   atomic.Int64
+	plansReordered atomic.Int64
 	// internStart snapshots the global condition intern table at engine
 	// construction, so the run's Stats can report hit/miss deltas.
 	internStart cond.InternStats
@@ -375,6 +422,7 @@ func (e *engine) run() error {
 	// instead of going negative.
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
 	e.captureInternStats()
+	e.captureStoreStats()
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()
@@ -393,6 +441,20 @@ func (e *engine) captureInternStats() {
 	e.stats.InternHits = now.Hits - e.internStart.Hits
 	e.stats.InternMisses = now.Misses - e.internStart.Misses
 	e.stats.InternLive = now.Live
+}
+
+// captureStoreStats folds the relation store's lookup counters and the
+// planner's decision counters into the run's Stats. Called once at the
+// end of a run, after every phase that touches the store.
+func (e *engine) captureStoreStats() {
+	sc := e.store.Counters()
+	e.stats.Probes = sc.Probes
+	e.stats.MultiProbes = sc.MultiProbes
+	e.stats.Scans = sc.Scans
+	e.stats.FallbackScans = sc.Fallbacks
+	e.stats.Intersections = sc.Intersections
+	e.stats.PlansPlanned = e.plansPlanned.Load()
+	e.stats.PlansReordered = e.plansReordered.Load()
 }
 
 // runStrata evaluates each stratum to fixpoint, in dependency order.
@@ -437,6 +499,14 @@ func (e *engine) reportTotals(evalSpan obs.Span) {
 	e.o.Count("eval.intern_hits", e.stats.InternHits)
 	e.o.Count("eval.intern_misses", e.stats.InternMisses)
 	e.o.SetGauge("cond.intern_live", float64(e.stats.InternLive))
+	e.o.Count("eval.store_probes", e.stats.Probes)
+	e.o.Count("eval.store_multi_probes", e.stats.MultiProbes)
+	e.o.Count("eval.store_scans", e.stats.Scans)
+	e.o.Count("eval.store_fallback_scans", e.stats.FallbackScans)
+	e.o.Count("eval.store_intersections", e.stats.Intersections)
+	e.o.Count("eval.plans_planned", e.stats.PlansPlanned)
+	e.o.Count("eval.plans_reordered", e.stats.PlansReordered)
+	e.o.SetGauge("eval.probe_hit_ratio", e.stats.ProbeHitRatio())
 	evalSpan.SetAttrs(
 		obs.Int("derived", int64(e.stats.Derived)),
 		obs.Int("pruned", int64(e.stats.Pruned)),
@@ -639,6 +709,29 @@ func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, em
 		body = append(body, ordered.Body[deltaIdx+1:]...)
 		ordered.Body = body
 		deltaIdx = 0
+	}
+	// Cost-guided planning: when the greedy cost model finds a cheaper
+	// positive-literal order than the written one, run the planned
+	// executor — it discovers matches in plan order but replays them in
+	// written order, so the emissions below are bit-identical either
+	// way (see plan.go). A plan identical to the written order falls
+	// through to the streaming join, which costs nothing extra.
+	if !e.opts.NoPlan {
+		nPos := len(ordered.Body)
+		for i, a := range ordered.Body {
+			if a.Neg {
+				nPos = i
+				break
+			}
+		}
+		if nPos > 1 {
+			order, changed := e.planPositives(ordered, deltaIdx, nPos)
+			e.plansPlanned.Add(1)
+			if changed {
+				e.plansReordered.Add(1)
+				return e.runPlanned(ordered, deltaIdx, deltaTuples, order, nPos, emit)
+			}
+		}
 	}
 	bind := map[string]cond.Term{}
 	conds := make([]*cond.Formula, 0, len(ordered.Body)+len(ordered.Comps)+1)
@@ -855,8 +948,28 @@ func (e *engine) negationCondition(a Atom, bind map[string]cond.Term) (*cond.For
 	if rel == nil {
 		return cond.True(), pattern, nil
 	}
+	// Probe the indexes for the pattern's constant columns instead of
+	// scanning: a tuple holding a different constant at a probed column
+	// is exactly a possible=false tuple below, contributing nothing to
+	// the disjunction — and Or canonicalises, so skipping them yields
+	// the identical formula. A pattern with no constant column degrades
+	// to a (fallback-counted) full scan inside CandidatesMulti.
+	var idxs []int
+	if e.opts.NoIndex {
+		idxs = rel.All()
+	} else {
+		var cols []int
+		var keys []cond.Term
+		for i, pv := range pattern {
+			if pv.IsConst() {
+				cols = append(cols, i)
+				keys = append(keys, pv)
+			}
+		}
+		idxs = rel.CandidatesMulti(cols, keys)
+	}
 	var matches []*cond.Formula
-	for _, idx := range rel.All() {
+	for _, idx := range idxs {
 		tp := rel.Tuple(idx)
 		eqs := make([]*cond.Formula, 0, len(pattern)+1)
 		possible := true

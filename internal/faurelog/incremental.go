@@ -162,6 +162,7 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	// the wall clock.
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
 	e.captureInternStats()
+	e.captureStoreStats()
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()

@@ -1,0 +1,357 @@
+package faurelog
+
+// Cost-guided join planning.
+//
+// The written-order join (eval.go) evaluates a rule body left to right
+// and probes at most one indexed column per literal, so a rule written
+// with its fattest relation first degrades to a near-cross-product.
+// The planner greedily reorders the positive body literals by their
+// estimated candidate count under sideways information passing — pick
+// the cheapest literal given the variables bound so far, bind its
+// variables, repeat — using the store's O(1) per-column statistics
+// (relstore.ColStats). The delta literal of a semi-naive round stays
+// pinned first: its tuples are an in-memory slice, and every other
+// literal benefits from the variables it binds.
+//
+// Determinism argument. The evaluation's observable output — table
+// contents, conditions, row order, Explain traces — depends on the
+// ORDER emissions reach the commit path: dedup keeps the first
+// occurrence, absorption compares each condition against the ones
+// committed before it, and row order is insertion order. The planner
+// therefore never streams matches in plan order. Instead the planned
+// executor:
+//
+//  1. discovers complete positive matches depth-first in plan order,
+//     using multi-column index intersection (CandidatesMulti) and a
+//     formula-free matcher (matchLite) that only binds variables and
+//     rejects constant/constant conflicts;
+//  2. replays each match in the written (canonical) order — rebuilding
+//     bindings, equality conditions and negation conditions exactly as
+//     the written-order join would, and dropping combinations that the
+//     written-order matcher rejects (a variable claimed by two
+//     different constants: such a combination is emitted by neither
+//     executor with a satisfiable condition);
+//  3. sorts the replayed emissions by a key that encodes, per literal,
+//     the position the written-order join would have visited the
+//     matched tuple at — the delta slice position for the fed literal,
+//     and (cvar-bucket bit, store index) for store literals, mirroring
+//     Candidates' constants-then-cvars enumeration — and only then
+//     hands them to emit.
+//
+// The emission sequence is thus exactly the written-order sequence,
+// minus combinations whose condition is syntactically contradictory
+// (written-order emits them, the eager prune or the final prune drops
+// them, and they can never absorb or outlive a satisfiable tuple), so
+// final tables, dumps and verdicts are bit-for-bit identical with the
+// planner on or off, at any worker count. Only speculative-work
+// counters (pruned, sat calls, probes) may differ.
+
+import (
+	"sort"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+	"faure/internal/relstore"
+)
+
+// planPositives greedily orders the canonical rule's first nPos body
+// literals (the positives) by estimated cost. deltaIdx is 0 when slot
+// 0 is the fed delta literal (then it stays pinned) and -1 otherwise.
+// It returns the canonical slot indexes in execution order and whether
+// that differs from the written order. Ties keep the lowest slot, so
+// the plan is deterministic for a given frozen store.
+func (e *engine) planPositives(canon Rule, deltaIdx, nPos int) ([]int, bool) {
+	order := make([]int, 0, nPos)
+	bound := map[string]bool{}
+	used := make([]bool, nPos)
+	take := func(slot int) {
+		used[slot] = true
+		order = append(order, slot)
+		for _, t := range canon.Body[slot].Args {
+			if t.Kind == TVar {
+				bound[t.Name] = true
+			}
+		}
+	}
+	if deltaIdx == 0 {
+		take(0)
+	}
+	for len(order) < nPos {
+		best, bestCost := -1, 0.0
+		for s := 0; s < nPos; s++ {
+			if used[s] {
+				continue
+			}
+			c := e.estimateLiteral(canon.Body[s], bound)
+			if best < 0 || c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		take(best)
+	}
+	for i, s := range order {
+		if s != i {
+			return order, true
+		}
+	}
+	return order, false
+}
+
+// estimateLiteral estimates how many candidate tuples the store serves
+// for one positive literal given the variables bound so far: the
+// relation size scaled by the selectivity of every constant-bound
+// column, multiplied under an independence assumption. Per column, the
+// expected candidates are the average constant bucket plus every
+// c-variable tuple (which survives any probe); see ColStats.
+func (e *engine) estimateLiteral(a Atom, bound map[string]bool) float64 {
+	rel := e.store.Rel(a.Pred)
+	if rel == nil || rel.Len() == 0 {
+		return 0
+	}
+	n := rel.Len()
+	cost := float64(n)
+	for col, t := range a.Args {
+		switch t.Kind {
+		case TConst:
+		case TVar:
+			if !bound[t.Name] {
+				continue
+			}
+		default:
+			continue
+		}
+		cost *= rel.ColStats(col).EstCandidates(n) / float64(n)
+	}
+	return cost
+}
+
+// plannedMatch records, for one canonical slot, the tuple the
+// discovery join matched there and its order-key material: the store
+// index, or the delta slice position for the fed literal.
+type plannedMatch struct {
+	tp  ctable.Tuple
+	idx int
+}
+
+// plannedEmit is one replayed match awaiting written-order sorting.
+type plannedEmit struct {
+	key   []uint64
+	bind  map[string]cond.Term
+	conds []*cond.Formula
+	srcs  []Source
+}
+
+// groupShift places Candidates' constants-vs-cvars bucket bit above
+// any realistic store index in the per-slot order key.
+const groupShift = 40
+
+// runPlanned executes one rule application under the planned literal
+// order: discovery in plan order, replay and emission in written
+// order (see the package comment's determinism argument). canon is the
+// canonicalised rule (delta literal at slot 0 when deltaIdx == 0,
+// positives before negations), order the planned permutation of the
+// first nPos slots.
+func (e *engine) runPlanned(canon Rule, deltaIdx int, deltaTuples []ctable.Tuple, order []int, nPos int, emit emitFn) error {
+	matched := make([]plannedMatch, nPos)
+	var buf []plannedEmit
+	bind := map[string]cond.Term{}
+
+	replay := func() error {
+		bind2 := make(map[string]cond.Term, len(bind))
+		conds := make([]*cond.Formula, 0, len(canon.Body)+len(canon.Comps)+1)
+		var srcs []Source
+		if e.trace != nil {
+			srcs = make([]Source, 0, len(canon.Body))
+		}
+		key := make([]uint64, nPos)
+		for slot := 0; slot < nPos; slot++ {
+			a := canon.Body[slot]
+			m := matched[slot]
+			if slot == 0 && deltaIdx == 0 {
+				key[slot] = uint64(m.idx)
+			} else {
+				var g uint64
+				if col := e.noPlanProbeCol(a, bind2); col >= 0 && m.tp.Values[col].IsCVar() {
+					g = 1
+				}
+				key[slot] = g<<groupShift | uint64(m.idx)
+			}
+			extra, _, ok := e.matchAtom(a, m.tp, bind2)
+			if !ok {
+				// The written-order matcher rejects this combination (two
+				// constants claimed the same variable); neither executor
+				// may emit it.
+				return nil
+			}
+			conds = append(conds, m.tp.Condition())
+			if !extra.IsTrue() {
+				conds = append(conds, extra)
+			}
+			if e.trace != nil {
+				srcs = append(srcs, Source{Pred: a.Pred, Tuple: m.tp})
+			}
+		}
+		for _, a := range canon.Body[nPos:] {
+			f, pattern, err := e.negationCondition(a, bind2)
+			if err != nil {
+				return err
+			}
+			if f.IsFalse() {
+				return nil
+			}
+			if e.trace != nil {
+				srcs = append(srcs, Source{Pred: a.Pred, Tuple: ctable.NewTuple(pattern, f), Negated: true})
+			}
+			conds = append(conds, f)
+		}
+		buf = append(buf, plannedEmit{key: key, bind: bind2, conds: conds, srcs: srcs})
+		return nil
+	}
+
+	var dfs func(k int) error
+	dfs = func(k int) error {
+		if k == nPos {
+			return replay()
+		}
+		slot := order[k]
+		a := canon.Body[slot]
+		try := func(tp ctable.Tuple, idx int) error {
+			undo, ok := matchLite(a, tp, bind)
+			if !ok {
+				return nil
+			}
+			matched[slot] = plannedMatch{tp: tp, idx: idx}
+			if err := dfs(k + 1); err != nil {
+				return err
+			}
+			for _, v := range undo {
+				delete(bind, v)
+			}
+			return nil
+		}
+		if slot == 0 && deltaIdx == 0 {
+			for pos, tp := range deltaTuples {
+				if err := try(tp, pos); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		rel := e.store.Rel(a.Pred)
+		if rel == nil {
+			return nil
+		}
+		for _, idx := range e.plannedCandidates(rel, a, bind) {
+			if err := try(rel.Tuple(idx), idx); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dfs(0); err != nil {
+		return err
+	}
+
+	sort.SliceStable(buf, func(i, j int) bool {
+		a, b := buf[i].key, buf[j].key
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for i := range buf {
+		if err := emit(canon, buf[i].bind, buf[i].conds, buf[i].srcs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// plannedCandidates narrows the tuples for one literal during planned
+// discovery, intersecting the candidate lists of every constant-bound
+// column. Unlike the written-order candidateIdxs, the result order
+// does not matter here: the replay sort restores written order.
+func (e *engine) plannedCandidates(rel *relstore.Relation, a Atom, bind map[string]cond.Term) []int {
+	if e.opts.NoIndex {
+		return rel.All()
+	}
+	var cols []int
+	var keys []cond.Term
+	for col, t := range a.Args {
+		switch t.Kind {
+		case TConst:
+			cols = append(cols, col)
+			keys = append(keys, t.Const)
+		case TVar:
+			if b, ok := bind[t.Name]; ok && !b.IsCVar() {
+				cols = append(cols, col)
+				keys = append(keys, b)
+			}
+		}
+	}
+	switch len(cols) {
+	case 0:
+		return rel.All()
+	case 1:
+		return rel.Candidates(cols[0], keys[0])
+	default:
+		return rel.CandidatesMulti(cols, keys)
+	}
+}
+
+// noPlanProbeCol is the column the written-order join's candidateIdxs
+// would probe for this literal under the given bindings, or -1 for a
+// full scan — the same first-usable-column rule, evaluated against the
+// canonical binding state the replay maintains.
+func (e *engine) noPlanProbeCol(a Atom, bind map[string]cond.Term) int {
+	if e.opts.NoIndex {
+		return -1
+	}
+	for col, t := range a.Args {
+		switch t.Kind {
+		case TConst:
+			return col
+		case TVar:
+			if b, ok := bind[t.Name]; ok && !b.IsCVar() {
+				return col
+			}
+		}
+	}
+	return -1
+}
+
+// matchLite is the discovery-time matcher: it binds variables and
+// rejects syntactically impossible combinations (constant against a
+// different constant) without building condition formulas — the
+// written-order replay rebuilds those. On failure it rolls back its
+// own bindings; on success the caller owns the returned undo list.
+func matchLite(a Atom, tp ctable.Tuple, bind map[string]cond.Term) ([]string, bool) {
+	var undo []string
+	for i, t := range a.Args {
+		v := tp.Values[i]
+		switch t.Kind {
+		case TConst:
+			if v.IsConst() && !t.Const.Equal(v) {
+				for _, u := range undo {
+					delete(bind, u)
+				}
+				return nil, false
+			}
+		case TVar:
+			if b, ok := bind[t.Name]; ok {
+				if b.IsConst() && v.IsConst() && !b.Equal(v) {
+					for _, u := range undo {
+						delete(bind, u)
+					}
+					return nil, false
+				}
+				continue
+			}
+			bind[t.Name] = v
+			undo = append(undo, t.Name)
+		}
+	}
+	return undo, true
+}

@@ -1,0 +1,323 @@
+package faurelog
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/ctable"
+)
+
+// planFixture parses a program and database and returns an engine whose
+// store reflects the database, for driving the planner directly.
+func planFixture(t *testing.T, progSrc, dbSrc string) (*engine, *Program) {
+	t.Helper()
+	prog, err := Parse(progSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	db, err := ParseDatabase(dbSrc)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	e, err := newEngine(prog, db, Options{})
+	if err != nil {
+		t.Fatalf("newEngine: %v", err)
+	}
+	return e, prog
+}
+
+func TestPlanReordersSelectiveFirst(t *testing.T) {
+	// big has 6 tuples, sel has 1: with nothing bound the greedy pick is
+	// the smaller relation, then big joins on the variable sel bound.
+	e, prog := planFixture(t, `h(x, z) :- big(x, y), sel(y, z).`, `
+		big(1, 1). big(2, 1). big(3, 2). big(4, 2). big(5, 3). big(6, 3).
+		sel(2, 9).
+	`)
+	r := prog.Rules[0]
+	order, changed := e.planPositives(r, -1, len(r.Body))
+	if !changed || len(order) != 2 || order[0] != 1 || order[1] != 0 {
+		t.Errorf("order = %v (changed %v), want [1 0]", order, changed)
+	}
+}
+
+func TestPlanConstBoundColumnWins(t *testing.T) {
+	// Equal sizes, but b's first column is probed with a constant and
+	// every value there is distinct, so b's estimate is ~1 tuple.
+	e, prog := planFixture(t, `h(x) :- a(x, y), b(5, y).`, `
+		a(1, 1). a(2, 1). a(3, 2). a(4, 2).
+		b(5, 1). b(6, 1). b(7, 2). b(8, 2).
+	`)
+	r := prog.Rules[0]
+	order, changed := e.planPositives(r, -1, len(r.Body))
+	if !changed || order[0] != 1 {
+		t.Errorf("order = %v (changed %v), want b first", order, changed)
+	}
+}
+
+func TestPlanDeltaPinned(t *testing.T) {
+	// Slot 0 is the fed delta literal: it must stay first even though
+	// hub is far cheaper.
+	e, prog := planFixture(t, `tri(x, z) :- fat(x, y), fat(y, z), hub(y).`, `
+		fat(1, 2). fat(1, 3). fat(2, 4). fat(2, 5). fat(3, 6). fat(3, 7).
+		hub(2).
+	`)
+	r := prog.Rules[0]
+	order, changed := e.planPositives(r, 0, len(r.Body))
+	if order[0] != 0 {
+		t.Fatalf("order = %v, delta slot must stay pinned first", order)
+	}
+	// With x,y bound by the delta, hub(y) (1 tuple) beats fat(y,z).
+	if !changed || order[1] != 2 {
+		t.Errorf("order = %v (changed %v), want hub before the second fat", order, changed)
+	}
+}
+
+func TestPlanTiesKeepWrittenOrder(t *testing.T) {
+	e, prog := planFixture(t, `h(x) :- a(x), b(x).`, `
+		a(1). a(2).
+		b(1). b(2).
+	`)
+	r := prog.Rules[0]
+	order, changed := e.planPositives(r, -1, len(r.Body))
+	if changed || order[0] != 0 || order[1] != 1 {
+		t.Errorf("order = %v (changed %v), equal costs must keep written order", order, changed)
+	}
+}
+
+// planParity evaluates the program with the planner on and off (and,
+// when workers > 1, in parallel) and requires identical dumps.
+func planParity(t *testing.T, progSrc, dbSrc string, workers int) {
+	t.Helper()
+	prog, err := Parse(progSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	db, err := ParseDatabase(dbSrc)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	run := func(noPlan bool, w int) string {
+		res, err := Eval(prog, db, Options{NoPlan: noPlan, Workers: w})
+		if err != nil {
+			t.Fatalf("Eval(noPlan=%v workers=%d): %v", noPlan, w, err)
+		}
+		return dumpResult(res)
+	}
+	base := run(true, 1)
+	if got := run(false, 1); got != base {
+		t.Errorf("planner changed sequential results\n-- no-plan --\n%s-- planned --\n%s", base, got)
+	}
+	if workers > 1 {
+		if got := run(false, workers); got != base {
+			t.Errorf("planner changed parallel results (workers=%d)\n-- no-plan --\n%s-- planned --\n%s", workers, base, got)
+		}
+		if got := run(true, workers); got != base {
+			t.Errorf("no-plan parallel differs from sequential (workers=%d)", workers)
+		}
+	}
+}
+
+// A three-way join over relations mixing constants and c-variables:
+// the planner reorders (src is smallest), and the replay keys must
+// reproduce the constants-then-cvars candidate enumeration.
+func TestPlannedParityMultiJoinCVars(t *testing.T) {
+	planParity(t, `h(y, w) :- mix(x, y), src(x), ext(y, w).`, `
+		var $a in {1, 2, 3}.
+		var $b in {1, 2, 3}.
+		mix(1, 10). mix($a, 20). mix(2, 30). mix(1, 40). mix($b, 50). mix(3, 60).
+		src(1). src(2). src($a).
+		ext(10, 7). ext(20, 7). ext(30, 8). ext(40, 8). ext(50, 9). ext(60, 9).
+	`, 4)
+}
+
+// Recursive rule with a pinned delta plus a cheap filter literal the
+// planner hoists above the second recursive literal.
+func TestPlannedParityRecursiveDelta(t *testing.T) {
+	planParity(t, `
+		path(x, y) :- edge(x, y).
+		path(x, z) :- path(x, y), path(y, z), hub(y).
+	`, `
+		var $e in {2, 3}.
+		edge(1, 2). edge(2, 3). edge(3, 4). edge($e, 5). edge(4, 6).
+		hub(2). hub(3). hub(4). hub(5).
+	`, 4)
+}
+
+// Negated literal rides the planned rule: its condition is rebuilt at
+// replay with the canonical bindings, against a relation holding
+// c-variable tuples.
+func TestPlannedParityNegation(t *testing.T) {
+	planParity(t, `q(x, y) :- node(x), link(x, y), not bad(y).`, `
+		var $u in {20, 30}.
+		node(1). node(2).
+		link(1, 10). link(1, 20). link(2, 30). link(2, 40). link(1, 30).
+		bad(20). bad($u).
+	`, 4)
+}
+
+// The ablation knobs must not break parity: deferred pruning and
+// absorption off change which emissions survive, but planner on/off
+// must still agree.
+func TestPlannedParityAblations(t *testing.T) {
+	progSrc := `h(y, w) :- mix(x, y), src(x), ext(y, w).`
+	dbSrc := `
+		var $a in {1, 2, 3}.
+		mix(1, 10). mix($a, 20). mix(2, 30). mix(1, 40).
+		src(1). src(2). src($a).
+		ext(10, 7). ext(20, 7). ext(30, 8). ext(40, 8).
+	`
+	prog, err := Parse(progSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	db, err := ParseDatabase(dbSrc)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	for _, opts := range []Options{
+		{NoEagerPrune: true},
+		{NoAbsorb: true},
+		{NoIndex: true},
+		{NoEagerPrune: true, NoAbsorb: true},
+	} {
+		off := opts
+		off.NoPlan = true
+		a, err := Eval(prog, db, off)
+		if err != nil {
+			t.Fatalf("Eval no-plan %+v: %v", opts, err)
+		}
+		b, err := Eval(prog, db, opts)
+		if err != nil {
+			t.Fatalf("Eval planned %+v: %v", opts, err)
+		}
+		if dumpResult(a) != dumpResult(b) {
+			t.Errorf("parity broken under %+v\n-- no-plan --\n%s-- planned --\n%s", opts, dumpResult(a), dumpResult(b))
+		}
+	}
+}
+
+// Incremental propagation plans its delta units like scratch rounds.
+func TestPlannedParityIncremental(t *testing.T) {
+	progSrc := `
+		path(x, y) :- edge(x, y).
+		path(x, z) :- path(x, y), path(y, z), hub(y).
+	`
+	prog, err := Parse(progSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	db, err := ParseDatabase(`
+		edge(1, 2). edge(2, 3).
+		hub(2). hub(3). hub(4).
+	`)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	added := map[string][]ctable.Tuple{
+		"edge": {
+			ctable.NewTuple([]cond.Term{cond.Int(3), cond.Int(4)}, nil),
+			ctable.NewTuple([]cond.Term{cond.Int(4), cond.Int(5)}, nil),
+		},
+	}
+	run := func(noPlan bool) string {
+		base, err := Eval(prog, db, Options{NoPlan: noPlan})
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		inc, err := EvalIncrement(prog, base.DB, added, Options{NoPlan: noPlan})
+		if err != nil {
+			t.Fatalf("EvalIncrement: %v", err)
+		}
+		return dumpResult(inc)
+	}
+	if a, b := run(true), run(false); a != b {
+		t.Errorf("incremental parity broken\n-- no-plan --\n%s-- planned --\n%s", a, b)
+	}
+}
+
+// Planner decisions and store counters surface in Stats.
+func TestPlanStats(t *testing.T) {
+	prog, err := Parse(`h(y, w) :- mix(x, y), src(x), ext(y, w).`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	db, err := ParseDatabase(`
+		mix(1, 10). mix(2, 20). mix(2, 30). mix(1, 40).
+		src(1). src(2).
+		ext(10, 7). ext(20, 7). ext(30, 8). ext(40, 8).
+	`)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	res, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatalf("Eval: %v", err)
+	}
+	s := res.Stats
+	if s.PlansPlanned == 0 || s.PlansReordered == 0 {
+		t.Errorf("planner counters empty: %+v", s)
+	}
+	if s.Probes+s.MultiProbes == 0 {
+		t.Errorf("no store probes recorded: %+v", s)
+	}
+	if r := s.ProbeHitRatio(); r <= 0 || r > 1 {
+		t.Errorf("ProbeHitRatio = %v", r)
+	}
+	off, err := Eval(prog, db, Options{NoPlan: true})
+	if err != nil {
+		t.Fatalf("Eval no-plan: %v", err)
+	}
+	if off.Stats.PlansReordered != 0 {
+		t.Errorf("no-plan run claims reordered plans: %+v", off.Stats)
+	}
+}
+
+// Explain traces must be identical too: the replay rebuilds sources in
+// written order.
+func TestPlannedParityTrace(t *testing.T) {
+	progSrc := `q(x, y) :- node(x), link(x, y), not bad(y).`
+	dbSrc := `
+		var $u in {20, 30}.
+		node(1). node(2).
+		link(1, 10). link(1, 20). link(2, 30). link(2, 40).
+		bad(20). bad($u).
+	`
+	prog, err := Parse(progSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	db, err := ParseDatabase(dbSrc)
+	if err != nil {
+		t.Fatalf("ParseDatabase: %v", err)
+	}
+	run := func(noPlan bool) map[string]string {
+		res, err := Eval(prog, db, Options{NoPlan: noPlan, Trace: true})
+		if err != nil {
+			t.Fatalf("Eval: %v", err)
+		}
+		out := map[string]string{}
+		for _, tp := range res.DB.Tables["q"].Tuples {
+			d := res.Explain("q", tp)
+			if d == nil || d.Rule == "" {
+				t.Fatalf("no derivation for %v", tp)
+			}
+			var srcs []string
+			for _, c := range d.Children {
+				srcs = append(srcs, fmt.Sprintf("%s %s neg=%v", c.Pred, c.Tuple.Key(), c.Negated))
+			}
+			out[tp.Key()] = d.Rule + " | " + strings.Join(srcs, " ; ")
+		}
+		return out
+	}
+	a, b := run(true), run(false)
+	if len(a) != len(b) {
+		t.Fatalf("trace count differs: %d vs %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("trace for %s differs:\n no-plan: %s\n planned: %s", k, v, b[k])
+		}
+	}
+}

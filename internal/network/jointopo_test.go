@@ -1,0 +1,58 @@
+package network
+
+import (
+	"testing"
+
+	"faure/internal/faurelog"
+)
+
+// TestJoinStressPlanParity: the join-stress workload derives the same
+// pair table with the planner on and off, while the planner answers
+// far more of its store traffic from index probes.
+func TestJoinStressPlanParity(t *testing.T) {
+	tbl, res, err := JoinStress(JoinTopoConfig{Seed: 1}, faurelog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tblOff, resOff, err := JoinStress(JoinTopoConfig{Seed: 1}, faurelog.Options{NoPlan: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.String() != tblOff.String() {
+		t.Fatalf("pair table differs planner on/off:\non:\n%s\noff:\n%s", tbl, tblOff)
+	}
+	if res.Stats.PlansReordered == 0 {
+		t.Fatalf("expected the planner to reorder the stress queries, stats=%+v", res.Stats)
+	}
+	if resOff.Stats.PlansReordered != 0 {
+		t.Fatalf("NoPlan run reordered %d plans", resOff.Stats.PlansReordered)
+	}
+	// The whole point of the workload: written order scans large
+	// intermediate joins that the planner answers with probes.
+	onWork := res.Stats.Probes + res.Stats.MultiProbes
+	offWork := resOff.Stats.Probes + resOff.Stats.MultiProbes
+	if onWork*4 > offWork {
+		t.Fatalf("planner did not reduce store traffic: on=%d off=%d", onWork, offWork)
+	}
+	if res.Stats.Intersections == 0 {
+		t.Fatalf("expected multi-column intersections, stats=%+v", res.Stats)
+	}
+}
+
+// TestJoinTopologyDeterministic: same seed, same database.
+func TestJoinTopologyDeterministic(t *testing.T) {
+	a := JoinTopology(JoinTopoConfig{Pods: 3, Fanout: 3, Seed: 7})
+	b := JoinTopology(JoinTopoConfig{Pods: 3, Fanout: 3, Seed: 7})
+	for _, name := range []string{"link", "down", "host", "core", "dst"} {
+		ta, tb := a.Table(name), b.Table(name)
+		if ta == nil || tb == nil {
+			t.Fatalf("missing table %s", name)
+		}
+		if ta.String() != tb.String() {
+			t.Fatalf("table %s differs across same-seed generations", name)
+		}
+	}
+	if a.Table("link").Len() == 0 || a.Table("dst").Len() == 0 {
+		t.Fatal("empty topology")
+	}
+}

@@ -53,6 +53,7 @@ type Flags struct {
 	maxSteps  *int64
 	maxTuples *int64
 	parallel  *int
+	noPlan    *bool
 	reg       *obs.Registry
 	srv       *obs.DebugServer
 	bud       *budget.B
@@ -68,12 +69,17 @@ func Register(fs *flag.FlagSet) *Flags {
 	f.maxSteps = fs.Int64("max-solver-steps", 0, "solver search-step budget (0 = unlimited)")
 	f.maxTuples = fs.Int64("max-tuples", 0, "derived-tuple budget (0 = unlimited)")
 	f.parallel = fs.Int("parallel", 1, "evaluation worker goroutines (results are identical at any count; 1 = sequential)")
+	f.noPlan = fs.Bool("no-plan", false, "disable cost-guided join planning and evaluate rule bodies in written order (results are identical either way)")
 	return f
 }
 
 // Workers returns the requested evaluation worker count (the -parallel
 // flag; 1 when unset).
 func (f *Flags) Workers() int { return *f.parallel }
+
+// NoPlan reports whether cost-guided join planning was disabled (the
+// -no-plan escape hatch).
+func (f *Flags) NoPlan() bool { return *f.noPlan }
 
 // Limits returns the budget limits the flags request (zero fields are
 // unlimited).

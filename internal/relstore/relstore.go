@@ -43,9 +43,57 @@ type Relation struct {
 	ids map[ctable.TupleID]struct{}
 
 	// Stats; atomic because probes and scans are served concurrently by
-	// the parallel engine's workers.
-	probes atomic.Int64 // indexed constant probes served
-	scans  atomic.Int64 // full scans served
+	// the parallel engine's workers. Fallbacks are Candidates calls that
+	// degraded to a full scan (c-variable key, out-of-range column) —
+	// counted apart from deliberate All() scans so a probe hit ratio
+	// over these counters is honest about where index lookups silently
+	// gave up.
+	probes        atomic.Int64 // indexed single-column constant probes served
+	multiProbes   atomic.Int64 // multi-column intersection probes served
+	scans         atomic.Int64 // deliberate full scans served (All)
+	fallbacks     atomic.Int64 // probes that fell back to a full scan
+	intersections atomic.Int64 // column candidate lists intersected beyond the first
+}
+
+// Counters is a snapshot of a relation's (or a whole store's) index
+// usage: how many lookups were answered by the hash indexes and how
+// many degraded to scanning every tuple.
+type Counters struct {
+	Probes        int64 // single-column constant probes
+	MultiProbes   int64 // multi-column intersection probes
+	Scans         int64 // deliberate full scans (All)
+	Fallbacks     int64 // probes degraded to full scans (c-var key, bad column)
+	Intersections int64 // column lists intersected beyond the first
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Probes += other.Probes
+	c.MultiProbes += other.MultiProbes
+	c.Scans += other.Scans
+	c.Fallbacks += other.Fallbacks
+	c.Intersections += other.Intersections
+}
+
+// HitRatio is the fraction of lookups the indexes answered without
+// scanning the whole relation; 1 when no lookup was served.
+func (c Counters) HitRatio() float64 {
+	total := c.Probes + c.MultiProbes + c.Scans + c.Fallbacks
+	if total == 0 {
+		return 1
+	}
+	return float64(c.Probes+c.MultiProbes) / float64(total)
+}
+
+// Counters snapshots the relation's lookup counters.
+func (r *Relation) Counters() Counters {
+	return Counters{
+		Probes:        r.probes.Load(),
+		MultiProbes:   r.multiProbes.Load(),
+		Scans:         r.scans.Load(),
+		Fallbacks:     r.fallbacks.Load(),
+		Intersections: r.intersections.Load(),
+	}
 }
 
 // TrackIdentity enables the exact-duplicate identity index,
@@ -136,6 +184,12 @@ func (r *Relation) Tuple(i int) ctable.Tuple { return r.tuples[i] }
 // All returns every tuple index (a full scan).
 func (r *Relation) All() []int {
 	r.scans.Add(1)
+	return r.allIdxs()
+}
+
+// allIdxs builds the full index list without touching the counters, so
+// probe fallbacks are not double-counted as deliberate scans.
+func (r *Relation) allIdxs() []int {
 	out := make([]int, len(r.tuples))
 	for i := range out {
 		out[i] = i
@@ -146,11 +200,16 @@ func (r *Relation) All() []int {
 // Candidates returns the indexes of tuples that could match the given
 // constant at the given column: the indexed constant bucket plus every
 // tuple holding a c-variable there (such a tuple matches when its
-// condition admits cvar = key). The returned slice may alias internal
-// index storage; callers must not mutate it.
+// condition admits cvar = key).
+//
+// Aliasing contract: when the column has only a constant bucket or only
+// c-variable entries, the returned slice ALIASES internal index storage
+// and must not be mutated; only the merged consts+cvars path allocates.
+// Callers that need to sort or edit the result must copy it first.
 func (r *Relation) Candidates(col int, key cond.Term) []int {
 	if key.IsCVar() || col < 0 || col >= r.Arity {
-		return r.All()
+		r.fallbacks.Add(1)
+		return r.allIdxs()
 	}
 	r.probes.Add(1)
 	consts := r.colConst[col][constKey(key)]
@@ -164,6 +223,110 @@ func (r *Relation) Candidates(col int, key cond.Term) []int {
 	out := make([]int, 0, len(consts)+len(cvars))
 	out = append(out, consts...)
 	out = append(out, cvars...)
+	return out
+}
+
+// ColStats are the planner-facing per-column statistics: how selective
+// a constant probe on this column is expected to be. All figures are
+// maintained incrementally by Insert, so reading them is O(1).
+type ColStats struct {
+	Distinct int // distinct constant values indexed at this column
+	CVars    int // tuples holding a c-variable at this column
+}
+
+// EstCandidates estimates how many tuple indexes a constant probe on a
+// column with these statistics returns, out of n tuples total: the
+// average constant bucket plus every c-variable tuple (which joins any
+// probe). A column with no constants at all estimates as the c-var list.
+func (cs ColStats) EstCandidates(n int) float64 {
+	est := float64(cs.CVars)
+	if cs.Distinct > 0 {
+		est += float64(n-cs.CVars) / float64(cs.Distinct)
+	}
+	return est
+}
+
+// ColStats returns the statistics for one column; the zero value for an
+// out-of-range column.
+func (r *Relation) ColStats(col int) ColStats {
+	if col < 0 || col >= r.Arity {
+		return ColStats{}
+	}
+	return ColStats{Distinct: len(r.colConst[col]), CVars: len(r.colCVar[col])}
+}
+
+// CandidatesMulti intersects the candidate lists of several
+// constant-bound columns: a tuple survives only if, at every probed
+// column, it either holds the probed constant or holds a c-variable.
+// That is exactly the conjunction of the per-column Candidates sets, so
+// the result is always a subset of (and never misses a match of) any
+// single-column probe. Columns with a c-variable key or out of range
+// are skipped (they constrain nothing the index can see). With no
+// usable column the call degrades to a counted fallback scan.
+//
+// The returned slice is freshly allocated and sorted by store index.
+func (r *Relation) CandidatesMulti(cols []int, keys []cond.Term) []int {
+	// Gather the per-column candidate sets, skipping unusable columns.
+	lists := make([][]int, 0, len(cols))
+	for i, col := range cols {
+		if i >= len(keys) || keys[i].IsCVar() || col < 0 || col >= r.Arity {
+			continue
+		}
+		consts := r.colConst[col][constKey(keys[i])]
+		cvars := r.colCVar[col]
+		var l []int
+		switch {
+		case len(cvars) == 0:
+			l = consts
+		case len(consts) == 0:
+			l = cvars
+		default:
+			// Both buckets are in increasing store-index order
+			// (append-only inserts), so a linear merge keeps the union
+			// sorted.
+			l = make([]int, 0, len(consts)+len(cvars))
+			a, b := consts, cvars
+			for len(a) > 0 && len(b) > 0 {
+				if a[0] < b[0] {
+					l = append(l, a[0])
+					a = a[1:]
+				} else {
+					l = append(l, b[0])
+					b = b[1:]
+				}
+			}
+			l = append(l, a...)
+			l = append(l, b...)
+		}
+		lists = append(lists, l)
+	}
+	if len(lists) == 0 {
+		r.fallbacks.Add(1)
+		return r.allIdxs()
+	}
+	r.multiProbes.Add(1)
+	// Intersect starting from the smallest list; every list is sorted by
+	// store index, so intersection is a linear walk.
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	out := append([]int(nil), lists[0]...)
+	for _, l := range lists[1:] {
+		if len(out) == 0 {
+			break
+		}
+		r.intersections.Add(1)
+		w := 0
+		j := 0
+		for _, v := range out {
+			for j < len(l) && l[j] < v {
+				j++
+			}
+			if j < len(l) && l[j] == v {
+				out[w] = v
+				w++
+			}
+		}
+		out = out[:w]
+	}
 	return out
 }
 
@@ -230,4 +393,13 @@ func (s *Store) TotalTuples() int {
 		n += r.Len()
 	}
 	return n
+}
+
+// Counters sums the lookup counters over all relations.
+func (s *Store) Counters() Counters {
+	var c Counters
+	for _, r := range s.rels {
+		c.Add(r.Counters())
+	}
+	return c
 }

@@ -67,6 +67,215 @@ func TestCandidatesStats(t *testing.T) {
 	}
 }
 
+func TestCandidatesFallbackCountedSeparately(t *testing.T) {
+	r := sampleRelation(t)
+	r.Candidates(0, cond.CVar("z")) // c-var key: degrades to a scan
+	r.Candidates(7, cond.Int(1))    // out-of-range column: same
+	r.All()                         // deliberate scan
+	r.Candidates(0, cond.Int(1))    // honest indexed probe
+	c := r.Counters()
+	if c.Fallbacks != 2 || c.Scans != 1 || c.Probes != 1 {
+		t.Errorf("counters = %+v, want fallbacks 2, scans 1, probes 1", c)
+	}
+	if got, want := c.HitRatio(), 0.25; got != want {
+		t.Errorf("HitRatio = %v, want %v", got, want)
+	}
+}
+
+func TestCountersHitRatioEmpty(t *testing.T) {
+	var c Counters
+	if c.HitRatio() != 1 {
+		t.Errorf("empty HitRatio = %v, want 1", c.HitRatio())
+	}
+}
+
+func TestStoreCountersAggregate(t *testing.T) {
+	s := NewStore()
+	a := s.Ensure("a", 1)
+	b := s.Ensure("b", 1)
+	if err := a.Insert(ctable.NewTuple([]cond.Term{cond.Int(1)}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Insert(ctable.NewTuple([]cond.Term{cond.Int(2)}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	a.Candidates(0, cond.Int(1))
+	b.All()
+	c := s.Counters()
+	if c.Probes != 1 || c.Scans != 1 {
+		t.Errorf("store counters = %+v", c)
+	}
+}
+
+// multiBrute is the reference semantics for CandidatesMulti: a tuple
+// survives iff at every usable probed column it holds the probed
+// constant or a c-variable.
+func multiBrute(r *Relation, cols []int, keys []cond.Term) []int {
+	usable := false
+	var out []int
+	for i := 0; i < r.Len(); i++ {
+		tp := r.Tuple(i)
+		ok := true
+		for j, col := range cols {
+			if j >= len(keys) || keys[j].IsCVar() || col < 0 || col >= r.Arity {
+				continue
+			}
+			usable = true
+			v := tp.Values[col]
+			if !v.IsCVar() && v.String() != keys[j].String() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	if !usable {
+		out = make([]int, r.Len())
+		for i := range out {
+			out[i] = i
+		}
+	}
+	return out
+}
+
+func TestCandidatesMultiVsBruteForce(t *testing.T) {
+	// A relation mixing repeated constants and c-variables across three
+	// columns, exercising all intersection shapes.
+	r := NewRelation("m", 3)
+	terms := []cond.Term{cond.Int(0), cond.Int(1), cond.Int(2), cond.CVar("x"), cond.CVar("y")}
+	n := 0
+	for a := 0; a < len(terms); a++ {
+		for b := 0; b < len(terms); b++ {
+			for c := 0; c < len(terms); c++ {
+				if (a+2*b+3*c)%4 == 0 { // skip some rows for irregularity
+					continue
+				}
+				if err := r.Insert(ctable.NewTuple([]cond.Term{terms[a], terms[b], terms[c]}, nil)); err != nil {
+					t.Fatal(err)
+				}
+				n++
+			}
+		}
+	}
+	cases := []struct {
+		cols []int
+		keys []cond.Term
+	}{
+		{[]int{0}, []cond.Term{cond.Int(1)}},
+		{[]int{0, 1}, []cond.Term{cond.Int(1), cond.Int(2)}},
+		{[]int{0, 1, 2}, []cond.Term{cond.Int(0), cond.Int(1), cond.Int(2)}},
+		{[]int{2, 0}, []cond.Term{cond.Int(2), cond.Int(0)}},
+		{[]int{0, 1}, []cond.Term{cond.Int(1), cond.Int(99)}},           // empty const bucket
+		{[]int{0, 1}, []cond.Term{cond.CVar("z"), cond.Int(1)}},         // col 0 unusable
+		{[]int{0, 1}, []cond.Term{cond.CVar("z"), cond.CVar("w")}},      // all unusable: fallback
+		{[]int{-1, 9, 1}, []cond.Term{cond.Int(1), cond.Int(1), cond.Int(2)}}, // bad cols skipped
+	}
+	for ci, tc := range cases {
+		got := r.CandidatesMulti(tc.cols, tc.keys)
+		want := multiBrute(r, tc.cols, tc.keys)
+		if len(got) != len(want) {
+			t.Fatalf("case %d: CandidatesMulti = %v, want %v", ci, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("case %d: CandidatesMulti = %v, want %v (sorted by store index)", ci, got, want)
+			}
+		}
+	}
+	c := r.Counters()
+	if c.MultiProbes != int64(len(cases)-1) || c.Fallbacks != 1 {
+		t.Errorf("counters after multi probes = %+v", c)
+	}
+	if c.Intersections == 0 {
+		t.Errorf("expected some intersections, got %+v", c)
+	}
+}
+
+func TestCandidatesMultiSubsetOfSingle(t *testing.T) {
+	r := sampleRelation(t)
+	multi := r.CandidatesMulti([]int{0, 1}, []cond.Term{cond.Int(1), cond.Int(3)})
+	single := r.Candidates(0, cond.Int(1))
+	in := map[int]bool{}
+	for _, i := range single {
+		in[i] = true
+	}
+	for _, i := range multi {
+		if !in[i] {
+			t.Errorf("multi candidate %d not in single-column candidates %v", i, single)
+		}
+	}
+	// Tuple 1 is f(1,3): it must survive the two-column probe.
+	found := false
+	for _, i := range multi {
+		if i == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("multi = %v, want it to contain tuple 1", multi)
+	}
+}
+
+// Candidates may alias index storage; mutating the returned slice must
+// never corrupt the index. The merged path is the only allocating one,
+// so this exercises the aliasing (consts-only and cvars-only) paths and
+// verifies a fresh probe still sees the true indexes.
+func TestCandidatesAliasingContract(t *testing.T) {
+	r := sampleRelation(t)
+	// Column 1 key 9: consts-only path (aliases the bucket).
+	got := r.Candidates(1, cond.Int(9))
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("precondition: Candidates(1, 9) = %v", got)
+	}
+	cp := append([]int(nil), got...)
+	cp[0] = 999 // the documented-safe way: copy before mutating
+	if again := r.Candidates(1, cond.Int(9)); len(again) != 1 || again[0] != 3 {
+		t.Errorf("index corrupted after copy-mutate: %v", again)
+	}
+	// CandidatesMulti always allocates: mutating its result is safe.
+	m := r.CandidatesMulti([]int{1}, []cond.Term{cond.Int(9)})
+	for i := range m {
+		m[i] = -1
+	}
+	if again := r.Candidates(1, cond.Int(9)); len(again) != 1 || again[0] != 3 {
+		t.Errorf("index corrupted by mutating CandidatesMulti result: %v", again)
+	}
+	// The merged consts+cvars path allocates too.
+	merged := r.Candidates(0, cond.Int(1))
+	for i := range merged {
+		merged[i] = -7
+	}
+	if again := r.Candidates(0, cond.Int(1)); len(again) != 3 {
+		t.Errorf("index corrupted by mutating merged result: %v", again)
+	} else {
+		for _, v := range again {
+			if v < 0 {
+				t.Errorf("merged path aliased storage: %v", again)
+			}
+		}
+	}
+}
+
+func TestColStats(t *testing.T) {
+	r := sampleRelation(t)
+	cs := r.ColStats(0)
+	if cs.Distinct != 2 || cs.CVars != 1 {
+		t.Errorf("ColStats(0) = %+v, want 2 distinct, 1 cvar", cs)
+	}
+	// (4-1)/2 + 1 = 2.5 expected candidates per constant probe.
+	if got := cs.EstCandidates(r.Len()); got != 2.5 {
+		t.Errorf("EstCandidates = %v, want 2.5", got)
+	}
+	if r.ColStats(9) != (ColStats{}) {
+		t.Errorf("out-of-range ColStats should be zero")
+	}
+	if (ColStats{}).EstCandidates(10) != 0 {
+		t.Errorf("zero-stats estimate should be 0")
+	}
+}
+
 func TestStoreRoundTrip(t *testing.T) {
 	db := ctable.NewDatabase()
 	tbl := ctable.NewTable("f", "a", "b")

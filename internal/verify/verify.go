@@ -104,6 +104,9 @@ type Verifier struct {
 	// tests run (<= 1 is sequential). Verdicts and witness tables are
 	// identical at any worker count.
 	Workers int
+	// NoPlan disables cost-guided join planning in the evaluations
+	// (verdicts and witness tables are identical either way).
+	NoPlan bool
 }
 
 // observer returns the effective observer and whether it is live.
@@ -165,7 +168,7 @@ func (v *Verifier) CategoryI(target containment.Constraint, known []containment.
 		v.countVerdict("category_i", Unknown, "outside-fragment")
 		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
 	}
-	res, err := containment.SubsumesWith(target, known, v.Doms, v.Schema, containment.Opts{Obs: v.Obs, Budget: v.Budget, Workers: v.Workers})
+	res, err := containment.SubsumesWith(target, known, v.Doms, v.Schema, containment.Opts{Obs: v.Obs, Budget: v.Budget, Workers: v.Workers, NoPlan: v.NoPlan})
 	if err != nil {
 		if rep, err, ok := v.degraded("category_i", span, err); ok {
 			return rep, err
@@ -196,7 +199,7 @@ func (v *Verifier) CategoryII(target containment.Constraint, u rewrite.Update, k
 		v.countVerdict("category_ii", Unknown, "outside-fragment")
 		return Report{Verdict: Unknown, Reason: ferr.Error()}, nil
 	}
-	res, err := containment.SubsumesAfterUpdateWith(target, u, known, v.Doms, v.Schema, containment.Opts{Obs: v.Obs, Budget: v.Budget, Workers: v.Workers})
+	res, err := containment.SubsumesAfterUpdateWith(target, u, known, v.Doms, v.Schema, containment.Opts{Obs: v.Obs, Budget: v.Budget, Workers: v.Workers, NoPlan: v.NoPlan})
 	if err != nil {
 		if rep, err, ok := v.degraded("category_ii", span, err); ok {
 			return rep, err
@@ -223,7 +226,7 @@ func (v *Verifier) Direct(target containment.Constraint, db *ctable.Database) (r
 		span = o.StartSpan("verify.direct", obs.String("target", target.Name))
 		defer span.End()
 	}
-	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Observer: v.Obs, Budget: v.Budget, Workers: v.Workers})
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Observer: v.Obs, Budget: v.Budget, Workers: v.Workers, NoPlan: v.NoPlan})
 	if err != nil {
 		return Report{}, err
 	}
@@ -383,7 +386,7 @@ func names(cs []containment.Constraint) string {
 // state. An empty slice means the constraint holds.
 func (v *Verifier) ExplainViolations(target containment.Constraint, db *ctable.Database) (out []*faurelog.Explanation, err error) {
 	defer guard.Recover("verify.ExplainViolations", &err)
-	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Trace: true, Budget: v.Budget, Workers: v.Workers})
+	res, err := faurelog.Eval(target.Program, db, faurelog.Options{Trace: true, Budget: v.Budget, Workers: v.Workers, NoPlan: v.NoPlan})
 	if err != nil {
 		return nil, err
 	}

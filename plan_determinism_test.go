@@ -1,0 +1,108 @@
+package faure_test
+
+import (
+	"fmt"
+	"testing"
+
+	"faure"
+)
+
+// planWorkloads runs the Table 4 query chain plus the join-stress
+// workload with the given worker count and planner setting, returning
+// the canonical dump of every result database keyed by workload name.
+func planWorkloads(t *testing.T, workers int, noPlan bool) map[string]string {
+	t.Helper()
+	opts := faure.Options{Workers: workers, NoPlan: noPlan}
+	tag := fmt.Sprintf("workers=%d noPlan=%v", workers, noPlan)
+
+	out := map[string]string{}
+	r := faure.GenerateRIB(faure.RIBConfig{Prefixes: 80, PoolSize: 10, Seed: 3})
+	fwd := r.ForwardingDatabase()
+	reach, err := faure.Eval(faure.ReachabilityProgram(), fwd, opts)
+	if err != nil {
+		t.Fatalf("%s q4-q5: %v", tag, err)
+	}
+	out["q4-q5"] = dumpTables(reach.DB)
+	q6, err := faure.Eval(faure.TwoLinkFailureProgram("x", "y", "z"), reach.DB, opts)
+	if err != nil {
+		t.Fatalf("%s q6: %v", tag, err)
+	}
+	out["q6"] = dumpTables(q6.DB)
+	q7, err := faure.Eval(faure.PinnedPairFailureProgram(2, 5, "y"), q6.DB, opts)
+	if err != nil {
+		t.Fatalf("%s q7: %v", tag, err)
+	}
+	out["q7"] = dumpTables(q7.DB)
+	q8, err := faure.Eval(faure.AtLeastOneFailureProgram(1, "y", "z"), reach.DB, opts)
+	if err != nil {
+		t.Fatalf("%s q8: %v", tag, err)
+	}
+	out["q8"] = dumpTables(q8.DB)
+
+	// The join-stress fixture: multi-way joins over a fat-tree with
+	// c-variable link endpoints and indexed negation — the shape the
+	// planner actually reorders.
+	join, err := faure.Eval(faure.JoinStressProgram(),
+		faure.JoinTopology(faure.JoinTopoConfig{Pods: 4, Fanout: 3, Seed: 3}), opts)
+	if err != nil {
+		t.Fatalf("%s join: %v", tag, err)
+	}
+	out["join"] = dumpTables(join.DB)
+	return out
+}
+
+// TestPlanDeterminism is the planner's contract: the cost-guided
+// planner may change how rule bodies are evaluated, never what they
+// produce. Every workload's result database — tuples, conditions and
+// row order — must be bit-for-bit identical with the planner on and
+// off, sequentially and with 8 workers.
+func TestPlanDeterminism(t *testing.T) {
+	base := planWorkloads(t, 1, true) // written order, sequential
+	for _, cfg := range []struct {
+		workers int
+		noPlan  bool
+	}{
+		{1, false},
+		{8, true},
+		{8, false},
+	} {
+		got := planWorkloads(t, cfg.workers, cfg.noPlan)
+		for name, want := range base {
+			if got[name] != want {
+				t.Errorf("%s: tables diverge at workers=%d noPlan=%v from the written-order sequential run\nwant:\n%.2000s\ngot:\n%.2000s",
+					name, cfg.workers, cfg.noPlan, want, got[name])
+			}
+		}
+	}
+}
+
+// TestPlanVerifierVerdicts runs the §5 enterprise verification ladder
+// with the planner on and off: verdict, decision level and reason must
+// be identical.
+func TestPlanVerifierVerdicts(t *testing.T) {
+	known := []faure.Constraint{faure.Clb(), faure.Cs()}
+	update := faure.ListingFourUpdate()
+	state := faure.EnterpriseState(false)
+	for _, target := range []faure.Constraint{faure.T1(), faure.T2()} {
+		type verdict struct {
+			verdict faure.Verdict
+			level   string
+			reason  string
+		}
+		run := func(noPlan bool) verdict {
+			v := &faure.Verifier{
+				Doms: faure.EnterpriseDomains(), Schema: faure.EnterpriseSchema(),
+				NoPlan: noPlan,
+			}
+			rep, level, err := v.Ladder(target, known, &update, state)
+			if err != nil {
+				t.Fatalf("%s noPlan=%v: %v", target.Name, noPlan, err)
+			}
+			return verdict{rep.Verdict, level, rep.Reason}
+		}
+		planned := run(false)
+		if written := run(true); written != planned {
+			t.Errorf("%s: verdicts diverge: planned=%+v written=%+v", target.Name, planned, written)
+		}
+	}
+}

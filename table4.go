@@ -74,6 +74,21 @@ type Table4Row struct {
 	InternHits   int64
 	InternMisses int64
 	InternLive   int64
+	// Store access counters: indexed probes (single- and multi-column),
+	// deliberate full scans, degraded probes that fell back to a scan,
+	// and multi-column bucket intersections performed by the planner.
+	StoreProbes      int64
+	StoreMultiProbes int64
+	StoreScans       int64
+	StoreFallbacks   int64
+	Intersections    int64
+	// ProbeHitRatio is the fraction of store accesses answered by an
+	// index probe rather than a scan (1 when the store saw no traffic).
+	ProbeHitRatio float64
+	// PlansPlanned/PlansReordered count rule bodies the cost-guided
+	// planner considered and how many it actually reordered.
+	PlansPlanned   int64
+	PlansReordered int64
 }
 
 // rowFromStats builds a Table4Row from one evaluation's statistics.
@@ -93,6 +108,15 @@ func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 		InternHits:   s.InternHits,
 		InternMisses: s.InternMisses,
 		InternLive:   s.InternLive,
+
+		StoreProbes:      s.Probes,
+		StoreMultiProbes: s.MultiProbes,
+		StoreScans:       s.Scans,
+		StoreFallbacks:   s.FallbackScans,
+		Intersections:    s.Intersections,
+		ProbeHitRatio:    s.ProbeHitRatio(),
+		PlansPlanned:     s.PlansPlanned,
+		PlansReordered:   s.PlansReordered,
 	}
 }
 
