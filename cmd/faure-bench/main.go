@@ -6,10 +6,16 @@
 //
 //	faure-bench -prefixes 1000,10000 [-seed 1] [-pool 10] [-ablate]
 //	faure-bench -prefixes 1000 -json [-out BENCH_faurelog.json]
+//	faure-bench -prefixes 1000 -baseline BENCH_faurelog.json [-regress-pct 25]
 //
 // With -json the run also writes a machine-readable report (per
 // workload: wall/sql/solver time, iterations, derived/pruned/absorbed
 // tuple counts, solver calls) for tracking across commits.
+//
+// With -baseline the fresh report is compared against a previously
+// written one: any workload whose wall time regressed by more than
+// -regress-pct percent (default 25) is reported and the command exits
+// non-zero, which is how CI gates performance regressions.
 //
 // The paper's largest input (922067 prefixes, the full route-views
 // RIB) is supported but takes correspondingly long; pass it
@@ -36,6 +42,9 @@ func main() {
 	ablate := flag.Bool("ablate", false, "also run the design-choice ablations at the first prefix count")
 	jsonOut := flag.Bool("json", false, "write a machine-readable report")
 	outPath := flag.String("out", "BENCH_faurelog.json", "report path for -json")
+	provCap := flag.Int("prov", 0, "record derivation provenance: >0 bounds the flight recorder to N edges, <0 keeps all, 0 disables")
+	baseline := flag.String("baseline", "", "compare against this earlier -json report and fail on wall-time regressions")
+	regressPct := flag.Float64("regress-pct", 25, "per-workload wall-time regression threshold for -baseline, in percent")
 	ob := obsflag.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -48,13 +57,94 @@ func main() {
 		fmt.Fprintln(os.Stderr, "faure-bench:", err)
 		os.Exit(obsflag.ExitError)
 	}
-	err = run(os.Stdout, sizes, *seed, *pool, *ablate, *jsonOut, *outPath,
-		faure.Options{Observer: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers(), NoPlan: ob.NoPlan()})
+	opts := faure.Options{Observer: ob.Observer(), Budget: ob.Budget(), Workers: ob.Workers(), NoPlan: ob.NoPlan()}
+	if *provCap != 0 {
+		capN := *provCap
+		if capN < 0 {
+			capN = 0 // NewProvenance treats 0 as unbounded.
+		}
+		opts = faure.WithProvenance(opts, faure.NewProvenance(capN))
+	}
+	// -baseline needs the fresh report on disk to compare against.
+	writeJSON := *jsonOut || *baseline != ""
+	err = run(os.Stdout, sizes, *seed, *pool, *ablate, writeJSON, *outPath, opts)
+	if err == nil && *baseline != "" {
+		err = checkBaseline(os.Stdout, *baseline, *outPath, *regressPct)
+	}
 	_ = ob.Close(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faure-bench:", err)
 		os.Exit(obsflag.ExitCode(err))
 	}
+}
+
+// regressFloorMS exempts workloads whose baseline wall time is below
+// this from the -baseline comparison: at sub-20ms scale the scheduler
+// jitter dwarfs any real regression and the gate would flap.
+const regressFloorMS = 20.0
+
+// checkBaseline loads the two reports and fails (non-nil error, so
+// main exits 1) when any workload regressed past the threshold.
+func checkBaseline(w io.Writer, basePath, headPath string, pct float64) error {
+	base, err := readReport(basePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	head, err := readReport(headPath)
+	if err != nil {
+		return fmt.Errorf("head report: %w", err)
+	}
+	regressions := compareReports(base, head, pct, regressFloorMS)
+	if len(regressions) == 0 {
+		fmt.Fprintf(w, "baseline check passed: no workload regressed by more than %.0f%% vs %s\n", pct, basePath)
+		return nil
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(w, "REGRESSION:", r)
+	}
+	return fmt.Errorf("%d workload(s) regressed by more than %.0f%% vs %s", len(regressions), pct, basePath)
+}
+
+// compareReports matches workloads by (name, prefixes) and returns one
+// line per wall-time regression beyond pct percent. Workloads below
+// floorMS in the baseline, or present in only one report, are skipped
+// — the gate watches known workloads large enough to time reliably.
+func compareReports(base, head benchReport, pct, floorMS float64) []string {
+	type key struct {
+		name     string
+		prefixes int
+	}
+	baseBy := make(map[key]benchWorkload, len(base.Workloads))
+	for _, wl := range base.Workloads {
+		baseBy[key{wl.Name, wl.Prefixes}] = wl
+	}
+	var regressions []string
+	for _, h := range head.Workloads {
+		b, ok := baseBy[key{h.Name, h.Prefixes}]
+		if !ok || b.WallMS < floorMS {
+			continue
+		}
+		limit := b.WallMS * (1 + pct/100)
+		if h.WallMS > limit {
+			regressions = append(regressions,
+				fmt.Sprintf("%s prefixes=%d wall %.1fms -> %.1fms (+%.0f%%, limit +%.0f%%)",
+					h.Name, h.Prefixes, b.WallMS, h.WallMS, (h.WallMS/b.WallMS-1)*100, pct))
+		}
+	}
+	return regressions
+}
+
+// readReport loads a previously written -json report.
+func readReport(path string) (benchReport, error) {
+	var r benchReport
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
 }
 
 // parseSizes reads the -prefixes sweep list.
@@ -107,6 +197,12 @@ type benchWorkload struct {
 	// and how many it reordered away from written order.
 	PlansPlanned   int64 `json:"plans_planned"`
 	PlansReordered int64 `json:"plans_reordered"`
+	// Provenance counters, present only when the sweep ran with -prov:
+	// derivation edges and parent references recorded, and edges a
+	// bounded flight recorder overwrote.
+	ProvEdges   int64 `json:"prov_edges,omitempty"`
+	ProvParents int64 `json:"prov_parents,omitempty"`
+	ProvEvicted int64 `json:"prov_evicted,omitempty"`
 	// Wall1WMS and Speedup are set when the sweep ran with -parallel
 	// N>1: the same workload's single-worker wall time and the ratio
 	// wall_1w_ms / wall_ms.
@@ -348,6 +444,9 @@ func workloadFromRow(row faure.Table4Row, prefixes int) benchWorkload {
 		ProbeHitRatio:    row.ProbeHitRatio,
 		PlansPlanned:     row.PlansPlanned,
 		PlansReordered:   row.PlansReordered,
+		ProvEdges:        row.ProvEdges,
+		ProvParents:      row.ProvParents,
+		ProvEvicted:      row.ProvEvicted,
 	}
 }
 

@@ -145,6 +145,100 @@ func TestRunJSONDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunProvReport checks the -prov path: wiring a recorder into the
+// options populates the provenance counters of every workload, and the
+// counters survive the JSON round trip.
+func TestRunProvReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "prov.json")
+	var buf bytes.Buffer
+	rec := faure.NewProvenance(0)
+	if err := run(&buf, []int{30}, 1, 10, false, true, out, faure.WithProvenance(faure.Options{}, rec)); err != nil {
+		t.Fatal(err)
+	}
+	report, err := readReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, w := range report.Workloads {
+		if w.ProvEdges <= 0 {
+			t.Errorf("%s: no provenance edges recorded: %+v", w.Name, w)
+		}
+		total += w.ProvEdges
+	}
+	if got := rec.Stats().Recorded; got != total {
+		t.Errorf("recorder saw %d edges, workloads report %d", got, total)
+	}
+}
+
+// TestCompareReports exercises the -baseline regression gate: matching
+// by name and prefix count, the jitter floor, and the threshold.
+func TestCompareReports(t *testing.T) {
+	wl := func(name string, prefixes int, wall float64) benchWorkload {
+		return benchWorkload{Name: name, Prefixes: prefixes, WallMS: wall}
+	}
+	base := benchReport{Workloads: []benchWorkload{
+		wl("q4-q5", 100, 100), wl("q6", 100, 40), wl("tiny", 100, 5), wl("gone", 100, 80),
+	}}
+	head := benchReport{Workloads: []benchWorkload{
+		wl("q4-q5", 100, 130), // +30% — regression at 25%
+		wl("q6", 100, 49),     // +22.5% — within threshold
+		wl("tiny", 100, 500),  // below the baseline floor — exempt
+		wl("new", 100, 999),   // not in the baseline — skipped
+	}}
+	got := compareReports(base, head, 25, 20)
+	if len(got) != 1 || !strings.Contains(got[0], "q4-q5") {
+		t.Fatalf("compareReports = %v, want exactly the q4-q5 regression", got)
+	}
+	if !strings.Contains(got[0], "+30%") {
+		t.Errorf("regression line should carry the percentage: %q", got[0])
+	}
+	if got := compareReports(base, head, 35, 20); len(got) != 0 {
+		t.Errorf("at a 35%% threshold nothing should regress, got %v", got)
+	}
+}
+
+// TestCheckBaseline runs the gate end to end: a report compared against
+// itself passes; against a doctored faster baseline it fails non-nil.
+func TestCheckBaseline(t *testing.T) {
+	dir := t.TempDir()
+	head := filepath.Join(dir, "head.json")
+	var buf bytes.Buffer
+	if err := run(&buf, []int{50}, 1, 10, false, true, head, faure.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkBaseline(&buf, head, head, 25); err != nil {
+		t.Errorf("self-comparison should pass: %v", err)
+	}
+	if !strings.Contains(buf.String(), "baseline check passed") {
+		t.Errorf("missing pass confirmation:\n%s", buf.String())
+	}
+	report, err := readReport(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Doctor the baseline so every real workload appears to have been
+	// much faster before, forcing the gate to trip.
+	for i := range report.Workloads {
+		report.Workloads[i].WallMS /= 10
+		if report.Workloads[i].WallMS < regressFloorMS {
+			report.Workloads[i].WallMS = regressFloorMS
+		}
+	}
+	base := filepath.Join(dir, "base.json")
+	if err := writeReport(base, report); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	err = checkBaseline(&buf, base, head, 25)
+	if err == nil {
+		t.Fatal("doctored baseline should fail the gate")
+	}
+	if !strings.Contains(buf.String(), "REGRESSION:") {
+		t.Errorf("missing regression lines:\n%s", buf.String())
+	}
+}
+
 // TestRunAblations smoke-tests the -ablate path.
 func TestRunAblations(t *testing.T) {
 	if testing.Short() {

@@ -37,6 +37,8 @@ func main() {
 	switch os.Args[1] {
 	case "eval":
 		err = cmdEval(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "worlds":
 		err = cmdWorlds(os.Args[2:])
 	case "check":
@@ -61,6 +63,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   faure eval -db <file> -program <file> [-table <pred>] [-stats] [-trace] [-metrics text|json] [-debug-addr :8080]
              [-timeout 1s] [-max-solver-steps N] [-max-tuples N]   (budget trip -> partial output, exit code 3)
+  faure explain -db <file> -program <file> -pred <p> [-tuple "1, 4"] [-json]   (why is this tuple derived?)
+  faure explain -db <file> -program <file> -serve -debug-addr :8080            (browse trees on /debug/explain)
+  faure explain -target <file> [-known <file>]... [-update <file>] [-state <file>] [-json]
+                                                                               (why this verdict? what's missing?)
   faure worlds -db <file>
   faure check -program <file>
   faure sql -db <file> -program <file>   (print the compiled SQL script)

@@ -45,6 +45,7 @@ import (
 	"faure/internal/minisql"
 	"faure/internal/network"
 	"faure/internal/obs"
+	"faure/internal/prov"
 	"faure/internal/rewrite"
 	"faure/internal/rib"
 	"faure/internal/solver"
@@ -115,6 +116,11 @@ type (
 	Report = verify.Report
 	// Verdict is Holds / Violated / Conditional / Unknown.
 	Verdict = verify.Verdict
+	// ReportExplanation is a Report unfolded for operators: undecided
+	// atoms, c-variables, deciding resolutions, derivation trees.
+	ReportExplanation = verify.ReportExplanation
+	// Flip is one single-variable resolution that decides a constraint.
+	Flip = verify.Flip
 )
 
 // Verdicts.
@@ -267,6 +273,48 @@ type (
 
 // NewMetrics returns an empty recording observer.
 func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// Provenance types: a recorder captures, for every committed tuple,
+// the rule and parent tuples of its first derivation; an explainer
+// resolves the recorded edges against the result database into
+// derivation trees. Recording is deterministic — the provenance
+// content is bit-identical at any worker count — and memory-bounded on
+// demand (flight-recorder mode).
+type (
+	// ProvRecorder accumulates provenance edges during evaluation.
+	ProvRecorder = prov.Recorder
+	// ProvStats is a snapshot of a recorder's counters.
+	ProvStats = prov.Stats
+	// ProvEdge is one recorded derivation edge.
+	ProvEdge = prov.Edge
+	// ProvTree is a derivation tree produced by a ProvExplainer.
+	ProvTree = prov.Tree
+	// ProvExplainer walks recorded provenance into derivation trees.
+	ProvExplainer = prov.Explainer
+)
+
+// NewProvenance returns an empty provenance recorder. capacity <= 0
+// keeps every edge; capacity N > 0 bounds memory to the N most recent
+// edges (flight-recorder mode).
+func NewProvenance(capacity int) *ProvRecorder { return prov.NewRecorder(capacity) }
+
+// WithProvenance returns a copy of opts that records every commit's
+// derivation edge into r:
+//
+//	rec := faure.NewProvenance(0)
+//	res, _ := faure.Eval(prog, db, faure.WithProvenance(faure.Options{}, rec))
+//	x := faure.NewProvExplainer(rec, res.DB)
+//	fmt.Print(x.ExplainAll("reach")[0])
+func WithProvenance(opts Options, r *ProvRecorder) Options {
+	opts.Prov = r
+	return opts
+}
+
+// NewProvExplainer resolves a recorder's edges against the database
+// the evaluation produced.
+func NewProvExplainer(rec *ProvRecorder, db *Database) *ProvExplainer {
+	return prov.NewExplainer(rec, db)
+}
 
 // WithObserver returns a copy of opts wired to o, so an evaluation
 // reports its spans (eval → iteration → rule), per-rule derivation

@@ -12,6 +12,7 @@ import (
 	"faure/internal/ctable"
 	"faure/internal/faultinject"
 	"faure/internal/obs"
+	"faure/internal/prov"
 	"faure/internal/relstore"
 	"faure/internal/solver"
 )
@@ -49,6 +50,16 @@ type Options struct {
 	// of its first derivation, enabling Result.Explain. Costs memory
 	// proportional to the number of derived tuples.
 	Trace bool
+	// Prov, when non-nil, records every committed tuple's provenance
+	// edge — rule, parent tuple identities, stratum/round, preparing
+	// worker — into the recorder (see internal/prov). Recording happens
+	// only in the serial commit path, so everything but the worker
+	// attribution is bit-identical at any worker count. Nil disables
+	// recording at zero cost. A bounded recorder (prov.NewRecorder with
+	// a positive capacity) caps memory flight-recorder style; the same
+	// recorder may span several evaluations (Stats reports this run's
+	// deltas).
+	Prov *prov.Recorder
 	// Observer receives the evaluation's spans (eval → iteration →
 	// rule), per-rule derivation counts, and the SQL-vs-solver time
 	// split. Nil disables observation: the hot paths then pay a single
@@ -149,6 +160,12 @@ type Stats struct {
 	// written literal order.
 	PlansPlanned   int64
 	PlansReordered int64
+	// Provenance counters (zero unless Options.Prov was set): edges and
+	// parent references this run recorded, and edges the bounded
+	// recorder's ring evicted during the run.
+	ProvEdges   int64
+	ProvParents int64
+	ProvEvicted int64
 }
 
 // ProbeHitRatio is the fraction of store lookups the hash indexes
@@ -184,6 +201,9 @@ func (s *Stats) Add(other Stats) {
 	s.Intersections += other.Intersections
 	s.PlansPlanned += other.PlansPlanned
 	s.PlansReordered += other.PlansReordered
+	s.ProvEdges += other.ProvEdges
+	s.ProvParents += other.ProvParents
+	s.ProvEvicted += other.ProvEvicted
 }
 
 // Result is the outcome of an evaluation: the database extended with
@@ -289,6 +309,21 @@ type engine struct {
 	arity        map[string]int
 	stats        Stats
 	trace        map[string]Derivation
+	// needSrcs gates the per-match source collection in join: true when
+	// either tracing or provenance recording consumes the sources, so
+	// both features share one plumbing cost and a disabled run pays a
+	// single flag check.
+	needSrcs bool
+	// prov is the provenance recorder (nil = off); provStart snapshots
+	// its counters at engine construction so Stats reports this run's
+	// deltas even when one recorder spans several evaluations.
+	// curStratum/curRound locate the round whose commits are being
+	// replayed; they are written in runRound and read in commit, both
+	// on the coordinating goroutine only.
+	prov       *prov.Recorder
+	provStart  prov.Stats
+	curStratum int
+	curRound   int
 	// o receives spans and metrics; obsOn gates every instrumentation
 	// site so a disabled run pays one branch and no clock reads.
 	o     obs.Observer
@@ -353,12 +388,17 @@ func newEngine(prog *Program, db *ctable.Database, opts Options) (*engine, error
 			if e.obsOn {
 				ws.SetObserver(opts.Observer)
 			}
-			e.wrk[i] = &evalWorker{sol: ws}
+			e.wrk[i] = &evalWorker{sol: ws, idx: i}
 		}
 	}
 	if opts.Trace {
 		e.trace = map[string]Derivation{}
 	}
+	if opts.Prov != nil {
+		e.prov = opts.Prov
+		e.provStart = opts.Prov.Stats()
+	}
+	e.needSrcs = e.trace != nil || e.prov != nil
 	// Record arities: program predicates plus database relations.
 	for _, r := range prog.Rules {
 		e.noteArity(r.Head.Pred, len(r.Head.Args))
@@ -423,11 +463,25 @@ func (e *engine) run() error {
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
 	e.captureInternStats()
 	e.captureStoreStats()
+	e.captureProvStats()
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()
 	}
 	return err
+}
+
+// captureProvStats folds the provenance recorder's counters into the
+// run's Stats as deltas since engine construction, so a recorder
+// shared across several evaluations still yields per-run attribution.
+func (e *engine) captureProvStats() {
+	if e.prov == nil {
+		return
+	}
+	now := e.prov.Stats()
+	e.stats.ProvEdges = now.Recorded - e.provStart.Recorded
+	e.stats.ProvParents = now.Parents - e.provStart.Parents
+	e.stats.ProvEvicted = now.Evicted - e.provStart.Evicted
 }
 
 // captureInternStats folds the condition intern table's counters into
@@ -507,6 +561,11 @@ func (e *engine) reportTotals(evalSpan obs.Span) {
 	e.o.Count("eval.plans_planned", e.stats.PlansPlanned)
 	e.o.Count("eval.plans_reordered", e.stats.PlansReordered)
 	e.o.SetGauge("eval.probe_hit_ratio", e.stats.ProbeHitRatio())
+	if e.prov != nil {
+		e.o.Count("eval.prov_edges", e.stats.ProvEdges)
+		e.o.Count("eval.prov_parents", e.stats.ProvParents)
+		e.o.Count("eval.prov_evicted", e.stats.ProvEvicted)
+	}
 	evalSpan.SetAttrs(
 		obs.Int("derived", int64(e.stats.Derived)),
 		obs.Int("pruned", int64(e.stats.Pruned)),
@@ -570,6 +629,10 @@ func (e *engine) runRound(units []unit, sink func(string, ctable.Tuple), evalSpa
 	if err := e.checkpoint(stratum, round); err != nil {
 		return err
 	}
+	// Locate this round's commits for provenance recording. Written
+	// here and read in commit — both only on the coordinating
+	// goroutine (workers never commit).
+	e.curStratum, e.curRound = stratum, round
 	var itSpan obs.Span
 	if e.obsOn {
 		itSpan = evalSpan.StartChild("iteration",
@@ -736,7 +799,7 @@ func (e *engine) deriveRule(r Rule, deltaIdx int, deltaTuples []ctable.Tuple, em
 	bind := map[string]cond.Term{}
 	conds := make([]*cond.Formula, 0, len(ordered.Body)+len(ordered.Comps)+1)
 	var srcs []Source
-	if e.trace != nil {
+	if e.needSrcs {
 		srcs = make([]Source, 0, len(ordered.Body))
 	}
 	return e.join(ordered, 0, bind, conds, srcs, deltaIdx, deltaTuples, emit)
@@ -794,7 +857,7 @@ func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Fo
 			return nil
 		}
 		next := srcs
-		if e.trace != nil {
+		if e.needSrcs {
 			next = append(srcs, Source{Pred: a.Pred, Tuple: ctable.NewTuple(pattern, f), Negated: true})
 		}
 		return e.join(r, i+1, bind, append(conds, f), next, deltaIdx, deltaTuples, emit)
@@ -810,7 +873,7 @@ func (e *engine) join(r Rule, i int, bind map[string]cond.Term, conds []*cond.Fo
 			next = append(next, extra)
 		}
 		nextSrcs := srcs
-		if e.trace != nil {
+		if e.needSrcs {
 			nextSrcs = append(srcs, Source{Pred: a.Pred, Tuple: tp})
 		}
 		if err := e.join(r, i+1, bind, next, nextSrcs, deltaIdx, deltaTuples, emit); err != nil {
@@ -1022,8 +1085,11 @@ type prepared struct {
 	cond    *cond.Formula
 	key     ctable.TupleID
 	dataKey [2]uint64 // data-part hash, for absorption grouping
-	ruleStr string    // set when tracing
-	srcs    []Source  // copied, set when tracing
+	ruleStr string    // set when tracing or recording provenance
+	srcs    []Source  // copied, set when tracing or recording provenance
+	// worker is the preparing worker's index (0 sequentially); recorded
+	// as provenance diagnostics, never part of canonical output.
+	worker int
 }
 
 // prepareEmit builds the head tuple for completed bindings. It is safe
@@ -1076,7 +1142,7 @@ func (e *engine) prepareEmit(r Rule, bind map[string]cond.Term, conds []*cond.Fo
 		key:     ctable.TupleID{D1: d[0], D2: d[1], Cond: condition.ID()},
 		dataKey: d,
 	}
-	if e.trace != nil {
+	if e.needSrcs {
 		p.ruleStr = r.String()
 		p.srcs = make([]Source, len(srcs))
 		copy(p.srcs, srcs)
@@ -1142,8 +1208,29 @@ func (e *engine) commit(p prepared, satKnown, sat bool, sink func(string, ctable
 	if e.trace != nil {
 		e.trace[traceKey(p.pred, p.tp)] = Derivation{Rule: p.ruleStr, Sources: p.srcs}
 	}
+	if e.prov != nil {
+		e.recordProv(&p)
+	}
 	sink(p.pred, p.tp)
 	return nil
+}
+
+// recordProv stores the provenance edge of a just-committed tuple.
+// Called only from commit — the serial point the parallel merge
+// replays in sequential emission order — so the recorded rule, parents
+// and round are identical at any worker count; only the worker index
+// (pure diagnostics) depends on the schedule.
+func (e *engine) recordProv(p *prepared) {
+	refs := make([]prov.SourceRef, len(p.srcs))
+	for i, s := range p.srcs {
+		refs[i] = prov.SourceRef{Pred: s.Pred, Key: s.Tuple.Identity(), Negated: s.Negated}
+		if s.Negated {
+			// Negated parents exist in no relation; keep the pattern
+			// tuple so explanations can render them.
+			refs[i].Tuple = s.Tuple
+		}
+	}
+	e.prov.Record(p.pred, p.key, e.prov.InternRule(p.ruleStr), e.curStratum, e.curRound, p.worker, refs)
 }
 
 // absorbed decides whether condition is implied by the disjunction of
@@ -1356,4 +1443,3 @@ func Stratify(p *Program) ([][]string, error) {
 	}
 	return strata, nil
 }
-

@@ -163,6 +163,7 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
 	e.captureInternStats()
 	e.captureStoreStats()
+	e.captureProvStats()
 	if e.obsOn {
 		e.reportTotals(evalSpan)
 		evalSpan.End()

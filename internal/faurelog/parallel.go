@@ -72,9 +72,11 @@ type unitResult struct {
 
 // evalWorker is the per-goroutine state: a private solver (sharing
 // domains, budget and — through the barrier-flushed memo — learned
-// decisions with its peers).
+// decisions with its peers) plus its pool index, stamped onto the
+// candidates it prepares for provenance diagnostics.
 type evalWorker struct {
 	sol *solver.Solver
+	idx int
 }
 
 // minChunk keeps shards coarse enough that per-unit overhead (budget
@@ -222,6 +224,7 @@ func (e *engine) runUnit(w *evalWorker, u unit, ur *unitResult) {
 		if err != nil {
 			return err
 		}
+		p.worker = w.idx
 		if !live {
 			ur.falsePruned++
 			return nil

@@ -160,7 +160,7 @@ func (e *engine) runPlanned(canon Rule, deltaIdx int, deltaTuples []ctable.Tuple
 		bind2 := make(map[string]cond.Term, len(bind))
 		conds := make([]*cond.Formula, 0, len(canon.Body)+len(canon.Comps)+1)
 		var srcs []Source
-		if e.trace != nil {
+		if e.needSrcs {
 			srcs = make([]Source, 0, len(canon.Body))
 		}
 		key := make([]uint64, nPos)
@@ -187,7 +187,7 @@ func (e *engine) runPlanned(canon Rule, deltaIdx int, deltaTuples []ctable.Tuple
 			if !extra.IsTrue() {
 				conds = append(conds, extra)
 			}
-			if e.trace != nil {
+			if e.needSrcs {
 				srcs = append(srcs, Source{Pred: a.Pred, Tuple: m.tp})
 			}
 		}
@@ -199,7 +199,7 @@ func (e *engine) runPlanned(canon Rule, deltaIdx int, deltaTuples []ctable.Tuple
 			if f.IsFalse() {
 				return nil
 			}
-			if e.trace != nil {
+			if e.needSrcs {
 				srcs = append(srcs, Source{Pred: a.Pred, Tuple: ctable.NewTuple(pattern, f), Negated: true})
 			}
 			conds = append(conds, f)

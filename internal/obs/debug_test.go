@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Count("eval.derived", 42)
+	r.Count("eval.rule_derived.reach", 7)
+	r.SetGauge("cond.intern_live", 11)
+	r.ObserveDuration("solver.sat_latency", 2*time.Millisecond)
+	r.Observe("eval.candidates", 5)
+	out := r.Snapshot().Prometheus()
+
+	for _, want := range []string{
+		"# TYPE faure_eval_derived_total counter",
+		"faure_eval_derived_total 42",
+		"faure_eval_rule_derived_reach_total 7",
+		"# TYPE faure_cond_intern_live gauge",
+		"faure_cond_intern_live 11",
+		"# TYPE faure_solver_sat_latency_seconds summary",
+		`faure_solver_sat_latency_seconds{quantile="0.5"} 0.002`,
+		"faure_solver_sat_latency_seconds_count 1",
+		"faure_eval_candidates_sum 5",
+		"# TYPE faure_uptime_seconds gauge",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// The exposition grammar allows only [a-zA-Z0-9_:] in names; every
+	// dotted registry key must have been sanitised.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, _ := strings.Cut(line, " ")
+		name, _, _ = strings.Cut(name, "{")
+		if strings.ContainsAny(name, ".-") {
+			t.Errorf("unsanitised metric name %q", name)
+		}
+	}
+}
+
+// TestMetricsContentNegotiation checks /metrics picks its format from
+// the format parameter or the scraper's Accept header.
+func TestMetricsContentNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Count("hits", 3)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path, accept string) (string, string) {
+		req, err := http.NewRequest("GET", "http://"+srv.Addr()+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+	if body, ct := get("/metrics?format=prom", ""); !strings.Contains(body, "faure_hits_total 3") ||
+		!strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("format=prom: ct=%q body=%s", ct, body)
+	}
+	// A Prometheus scraper negotiates via Accept; the default stays JSON.
+	if body, _ := get("/metrics", "application/openmetrics-text;version=1.0.0,text/plain"); !strings.Contains(body, "faure_hits_total") {
+		t.Errorf("Accept negotiation did not yield the exposition format: %s", body)
+	}
+	if body, ct := get("/metrics", ""); !strings.Contains(ct, "application/json") || !strings.Contains(body, `"hits": 3`) {
+		t.Errorf("default: ct=%q body=%s", ct, body)
+	}
+}
+
+// TestServeDebugContextShutdown checks the context-bound lifecycle:
+// cancellation drains the server, Done is closed, later requests fail
+// and Close stays idempotent.
+func TestServeDebugContextShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	srv, err := ServeDebugContext(ctx, "127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A handler mounted after start (the explain endpoint pattern) is
+	// served.
+	srv.Handle("/debug/explain", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "trees")
+	}))
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/explain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "trees" {
+		t.Errorf("mounted handler returned %q", body)
+	}
+
+	cancel()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not stop after context cancellation")
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("request succeeded after shutdown")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close after cancellation: %v", err)
+	}
+}
+
+func TestLoggerLevelsAndFormats(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, false, slog.LevelWarn)
+	log.Info("dropped")
+	log.Warn("kept", "k", "v")
+	if out := buf.String(); strings.Contains(out, "dropped") || !strings.Contains(out, "kept") {
+		t.Errorf("text logger at warn: %q", out)
+	}
+	buf.Reset()
+	NewLogger(&buf, true, slog.LevelInfo).Info("hello", "n", 1)
+	if out := buf.String(); !strings.HasPrefix(out, "{") || !strings.Contains(out, `"msg":"hello"`) {
+		t.Errorf("json logger: %q", out)
+	}
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"warn": slog.LevelWarn, "warning": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel should reject unknown levels")
+	}
+}

@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the process logger the CLI tools share: text
+// (logfmt-style) by default, JSON lines when jsonFormat is set — one
+// object per line, machine-ingestable by the usual log pipelines.
+func NewLogger(w io.Writer, jsonFormat bool, level slog.Level) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if jsonFormat {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// ParseLevel maps the CLI spelling of a log level onto slog's.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (debug, info, warn, error)", s)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): every metric prefixed faure_, names
+// sanitised to [a-zA-Z0-9_], counters as counters, gauges as gauges,
+// and distributions as summaries with 0.5/0.95/0.99 quantiles.
+// Durations — stored in milliseconds in the snapshot — are converted
+// to seconds and suffixed _seconds per Prometheus convention. Spans
+// are not exported (they are traces, not metrics).
+func (s Snapshot) Prometheus() string {
+	var b strings.Builder
+	for _, k := range sortedKeys(s.Counters) {
+		name := promName(k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+	for _, k := range sortedKeys(s.Gauges) {
+		name := promName(k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %g\n", name, name, s.Gauges[k])
+	}
+	for _, k := range sortedKeys(s.DurationsMS) {
+		writeSummary(&b, promName(k)+"_seconds", s.DurationsMS[k], 1e-3) // ms → s
+	}
+	for _, k := range sortedKeys(s.Values) {
+		writeSummary(&b, promName(k), s.Values[k], 1)
+	}
+	fmt.Fprintf(&b, "# TYPE faure_uptime_seconds gauge\nfaure_uptime_seconds %g\n", s.UptimeMS/1000)
+	if s.DroppedSpans > 0 {
+		b.WriteString("# TYPE faure_dropped_spans_total counter\n")
+		fmt.Fprintf(&b, "faure_dropped_spans_total %d\n", s.DroppedSpans)
+	}
+	return b.String()
+}
+
+func writeSummary(b *strings.Builder, name string, d DistSummary, scale float64) {
+	fmt.Fprintf(b, "# TYPE %s summary\n", name)
+	for _, q := range []struct {
+		p string
+		v float64
+	}{{"0.5", d.P50}, {"0.95", d.P95}, {"0.99", d.P99}} {
+		fmt.Fprintf(b, "%s{quantile=%q} %g\n", name, q.p, q.v*scale)
+	}
+	fmt.Fprintf(b, "%s_sum %g\n", name, d.Sum*scale)
+	fmt.Fprintf(b, "%s_count %d\n", name, d.Count)
+}
+
+// promName maps a registry metric name (dotted, with arbitrary
+// predicate suffixes) onto the Prometheus metric-name grammar.
+func promName(k string) string {
+	var b strings.Builder
+	b.WriteString("faure_")
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -10,6 +10,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
+	"os"
 	"time"
 
 	"faure/internal/budget"
@@ -54,10 +56,14 @@ type Flags struct {
 	maxTuples *int64
 	parallel  *int
 	noPlan    *bool
+	logJSON   *bool
+	logLevel  *string
 	reg       *obs.Registry
 	srv       *obs.DebugServer
 	bud       *budget.B
 	budBuilt  bool
+	logger    *slog.Logger
+	level     slog.Level
 }
 
 // Register binds the shared flags on the flag set.
@@ -70,6 +76,8 @@ func Register(fs *flag.FlagSet) *Flags {
 	f.maxTuples = fs.Int64("max-tuples", 0, "derived-tuple budget (0 = unlimited)")
 	f.parallel = fs.Int("parallel", 1, "evaluation worker goroutines (results are identical at any count; 1 = sequential)")
 	f.noPlan = fs.Bool("no-plan", false, "disable cost-guided join planning and evaluate rule bodies in written order (results are identical either way)")
+	f.logJSON = fs.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt text")
+	f.logLevel = fs.String("log-level", "warn", "minimum structured-log level: debug, info, warn or error")
 	return f
 }
 
@@ -108,6 +116,11 @@ func (f *Flags) Init() error {
 	default:
 		return fmt.Errorf("unknown -metrics format %q (text or json)", *f.metrics)
 	}
+	level, err := obs.ParseLevel(*f.logLevel)
+	if err != nil {
+		return err
+	}
+	f.level = level
 	if *f.metrics != "" || *f.debugAddr != "" {
 		f.reg = obs.NewRegistry()
 	}
@@ -132,6 +145,21 @@ func (f *Flags) Observer() obs.Observer {
 
 // Registry exposes the underlying registry (nil when disabled).
 func (f *Flags) Registry() *obs.Registry { return f.reg }
+
+// DebugServer exposes the running debug endpoint (nil when
+// -debug-addr was not given) so commands can mount extra handlers —
+// the explain endpoint — after their state is built.
+func (f *Flags) DebugServer() *obs.DebugServer { return f.srv }
+
+// Logger returns the process logger, built lazily from -log-json and
+// -log-level. Logs go to stderr (stdout is the command's data
+// channel). Call after Init.
+func (f *Flags) Logger() *slog.Logger {
+	if f.logger == nil {
+		f.logger = obs.NewLogger(os.Stderr, *f.logJSON, f.level)
+	}
+	return f.logger
+}
 
 // Close writes the metrics report to w in the selected format and
 // shuts the debug endpoint down.

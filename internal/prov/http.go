@@ -1,0 +1,81 @@
+package prov
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// explainResponse is the JSON document the handler serves.
+type explainResponse struct {
+	Pred string `json:"pred,omitempty"`
+	// Tables lists the explorable tables and their sizes when no pred
+	// was asked for.
+	Tables map[string]int `json:"tables,omitempty"`
+	// Matched is how many tuples the query matched (Explanations may
+	// be shorter when limit trimmed it).
+	Matched      int     `json:"matched,omitempty"`
+	Explanations []*Tree `json:"explanations,omitempty"`
+	Stats        *Stats  `json:"stats,omitempty"`
+	Error        string  `json:"error,omitempty"`
+}
+
+// HTTPHandler serves derivation trees over HTTP — the /debug/explain
+// endpoint of the debug server:
+//
+//	GET /debug/explain                       list tables + recorder stats
+//	GET /debug/explain?pred=reach            explain every tuple of reach
+//	GET /debug/explain?pred=reach&tuple=F0|1|4   only data parts equal to
+//	                                         the |-joined DataKey
+//	        &limit=N                         cap the trees returned (default 100)
+//
+// Responses are JSON (the trees match faure explain -json).
+func (x *Explainer) HTTPHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON := func(status int, resp explainResponse) {
+			w.WriteHeader(status)
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(resp)
+		}
+		pred := r.URL.Query().Get("pred")
+		if pred == "" {
+			resp := explainResponse{Tables: map[string]int{}}
+			if x.db != nil {
+				for name, t := range x.db.Tables {
+					resp.Tables[name] = t.Len()
+				}
+			}
+			st := x.rec.Stats()
+			resp.Stats = &st
+			writeJSON(http.StatusOK, resp)
+			return
+		}
+		if x.db == nil || x.db.Table(pred) == nil {
+			writeJSON(http.StatusNotFound, explainResponse{
+				Pred:  pred,
+				Error: "no such table (see /debug/explain for the list)",
+			})
+			return
+		}
+		limit := 100
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			n, err := strconv.Atoi(ls)
+			if err != nil || n < 1 {
+				writeJSON(http.StatusBadRequest, explainResponse{Error: "bad limit " + ls})
+				return
+			}
+			limit = n
+		}
+		tuples := x.Find(pred, r.URL.Query().Get("tuple"))
+		resp := explainResponse{Pred: pred, Matched: len(tuples)}
+		for _, tp := range tuples {
+			if len(resp.Explanations) >= limit {
+				break
+			}
+			resp.Explanations = append(resp.Explanations, x.Explain(pred, tp))
+		}
+		writeJSON(http.StatusOK, resp)
+	})
+}

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"faure/internal/cond"
+	"faure/internal/containment"
+	"faure/internal/ctable"
+	"faure/internal/network"
+)
+
+// conditionalState builds the TestDirectConditional state: one r row
+// with an unknown subnet $x and a firewall rule that covers only R&D,
+// so T1 is violated exactly when $x = Mkt.
+func conditionalState() *ctable.Database {
+	db := ctable.NewDatabase()
+	for name, d := range network.EnterpriseDomains() {
+		db.DeclareVar(name, d)
+	}
+	r := ctable.NewTable("r", "subnet", "server", "port")
+	r.MustInsert(nil, cond.CVar("x"), cond.Str(network.CS), cond.Int(7000))
+	db.AddTable(r)
+	fw := ctable.NewTable("fw", "subnet", "server")
+	fw.MustInsert(nil, cond.Str(network.RnD), cond.Str(network.CS))
+	db.AddTable(fw)
+	return db
+}
+
+// TestExplainLadderConditional: a conditional verdict must name the
+// undecided atoms, the c-variables, the deciding single-variable
+// resolutions, and carry a provenance derivation of the panic tuple.
+func TestExplainLadderConditional(t *testing.T) {
+	v := enterpriseVerifier()
+	db := conditionalState()
+	x, err := v.ExplainLadder(network.T1(), nil, nil, db)
+	if err != nil {
+		t.Fatalf("ExplainLadder: %v", err)
+	}
+	if x.Verdict != "conditional" || x.Level != "direct" {
+		t.Fatalf("verdict %s at %s, want conditional at direct", x.Verdict, x.Level)
+	}
+	if x.ViolationCond == "" || len(x.UndecidedAtoms) == 0 {
+		t.Fatalf("missing violation condition/atoms: %+v", x)
+	}
+	if len(x.CVars) != 1 || x.CVars[0] != "x" {
+		t.Fatalf("c-variables %v, want [x]", x.CVars)
+	}
+	// The enterprise subnet domain is {Mkt, RnD, CS (as subnets go)}…
+	// whatever its members, $x = Mkt must be reported as deciding the
+	// constraint violated, and every other value as deciding it holds.
+	var mkt, holds int
+	for _, f := range x.Flips {
+		if f.Var != "x" {
+			t.Fatalf("flip over unexpected variable: %+v", f)
+		}
+		switch f.Result {
+		case "violated":
+			if f.Value != network.Mkt {
+				t.Fatalf("violating resolution %+v, want $x = %s", f, network.Mkt)
+			}
+			mkt++
+		case "holds":
+			holds++
+		}
+	}
+	if mkt != 1 || holds == 0 {
+		t.Fatalf("flips %v: want exactly one violating and >= 1 holding resolution", x.Flips)
+	}
+	if len(x.Derivations) == 0 {
+		t.Fatal("no violation derivation attached")
+	}
+	d := x.Derivations[0]
+	if d.Pred != containment.PanicPred || d.Rule == "" || len(d.Children) == 0 {
+		t.Fatalf("derivation tree: %+v", d)
+	}
+	text := x.String()
+	for _, want := range []string{"conditional", "undecided atoms", "$x", "violation derivation"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered explanation lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestExplainLadderHoldsAtCategoryI: a category (i) decision needs no
+// state and produces no violation apparatus.
+func TestExplainLadderHoldsAtCategoryI(t *testing.T) {
+	v := enterpriseVerifier()
+	x, err := v.ExplainLadder(network.T1(), []containment.Constraint{network.Clb(), network.Cs()}, nil, nil)
+	if err != nil {
+		t.Fatalf("ExplainLadder: %v", err)
+	}
+	if x.Verdict != "holds" || x.Level != "category-i" {
+		t.Fatalf("verdict %s at %s, want holds at category-i", x.Verdict, x.Level)
+	}
+	if x.ViolationCond != "" || len(x.Flips) != 0 || len(x.Derivations) != 0 {
+		t.Fatalf("category-i decision should carry no violation apparatus: %+v", x)
+	}
+}
+
+// TestExplainLadderUnknownNoState: with nothing but definitions and no
+// subsumption, the explanation names the c-variables the target's own
+// conditions mention.
+func TestExplainLadderUnknownNoState(t *testing.T) {
+	v := enterpriseVerifier()
+	x, err := v.ExplainLadder(network.T2(), []containment.Constraint{network.Cs()}, nil, nil)
+	if err != nil {
+		t.Fatalf("ExplainLadder: %v", err)
+	}
+	if x.Verdict != "unknown" {
+		t.Fatalf("verdict %s, want unknown", x.Verdict)
+	}
+	if x.BudgetExhausted {
+		t.Fatal("information-driven unknown flagged as budget exhaustion")
+	}
+}

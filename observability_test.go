@@ -1,6 +1,8 @@
 package faure_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -89,6 +91,84 @@ func TestObserverWiring(t *testing.T) {
 	}
 	if _, ok := snap.DurationsMS["solver.sat_latency"]; !ok {
 		t.Error("solver.sat_latency distribution not recorded")
+	}
+}
+
+// TestParallelSpanNestingAndCounters runs the same workload at 1 and 8
+// workers, each under its own recording observer, and checks the two
+// contracts the parallel engine makes to observability: spans stay
+// properly nested (a single eval root; iteration children; worker
+// spans only inside iterations), and the deterministic counter totals
+// — including the provenance counters — are identical at any worker
+// count. Run under -race in CI, this also shakes out unsynchronised
+// observer writes from the worker pool.
+func TestParallelSpanNestingAndCounters(t *testing.T) {
+	var facts strings.Builder
+	facts.WriteString("var $x in {0, 1}.\n")
+	for i := 0; i < 24; i++ {
+		fmt.Fprintf(&facts, "link(%d, %d).\n", i, i+1)
+		if i%5 == 0 {
+			fmt.Fprintf(&facts, "link(%d, %d)[$x = 1].\n", i, i+3)
+		}
+	}
+	db, err := faure.ParseDatabase(facts.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := faure.Parse(`
+		reach(a, b) :- link(a, b).
+		reach(a, c) :- link(a, b), reach(b, c).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// deterministic is the counter subset the parallel merge replays
+	// exactly; sat_calls and the solver counters are speculative and
+	// legitimately schedule-dependent.
+	deterministic := []string{
+		"eval.derived", "eval.pruned", "eval.absorbed", "eval.iterations",
+		"eval.absorb_probes", "eval.prov_edges", "eval.prov_parents",
+	}
+	snapshots := make(map[int]faure.MetricsSnapshot)
+	for _, workers := range []int{1, 8} {
+		m := faure.NewMetrics()
+		opts := faure.WithObserver(faure.Options{Workers: workers}, m)
+		opts = faure.WithProvenance(opts, faure.NewProvenance(0))
+		if _, err := faure.Eval(prog, db, opts); err != nil {
+			t.Fatal(err)
+		}
+		snap := m.Snapshot()
+		snapshots[workers] = snap
+
+		if len(snap.Spans) != 1 || snap.Spans[0].Name != "eval" {
+			t.Fatalf("workers=%d: expected a single root eval span, got %+v", workers, snap.Spans)
+		}
+		for _, it := range snap.Spans[0].Children {
+			if it.Name != "iteration" && it.Name != "final-prune" {
+				t.Errorf("workers=%d: eval child %q, want iteration or final-prune", workers, it.Name)
+				continue
+			}
+			for _, c := range it.Children {
+				switch {
+				case workers > 1 && c.Name != "worker":
+					t.Errorf("workers=%d: iteration child %q, want worker", workers, c.Name)
+				case workers == 1 && c.Name != "rule":
+					t.Errorf("workers=1: iteration child %q, want rule", c.Name)
+				case len(c.Children) != 0:
+					t.Errorf("workers=%d: leaf span %q has children %+v", workers, c.Name, c.Children)
+				}
+			}
+		}
+	}
+	for _, name := range deterministic {
+		seq, par := snapshots[1].Counters[name], snapshots[8].Counters[name]
+		if seq != par {
+			t.Errorf("counter %s differs: %d at 1 worker, %d at 8", name, seq, par)
+		}
+		if seq == 0 && name != "eval.pruned" && name != "eval.absorbed" {
+			t.Errorf("counter %s unexpectedly zero", name)
+		}
 	}
 }
 

@@ -89,17 +89,23 @@ type Table4Row struct {
 	// planner considered and how many it actually reordered.
 	PlansPlanned   int64
 	PlansReordered int64
+	// Provenance counters (zero unless the run wired a ProvRecorder):
+	// edges and parent references recorded, and edges a bounded
+	// recorder's ring overwrote.
+	ProvEdges   int64
+	ProvParents int64
+	ProvEvicted int64
 }
 
 // rowFromStats builds a Table4Row from one evaluation's statistics.
 func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 	return Table4Row{
-		Query:      query,
-		SQL:        s.SQLTime,
-		Solver:     s.SolverTime,
-		Wall:       s.SQLTime + s.SolverTime,
-		Tuples:     tuples,
-		Iterations: s.Iterations,
+		Query:        query,
+		SQL:          s.SQLTime,
+		Solver:       s.SolverTime,
+		Wall:         s.SQLTime + s.SolverTime,
+		Tuples:       tuples,
+		Iterations:   s.Iterations,
 		Derived:      s.Derived,
 		Pruned:       s.Pruned,
 		Absorbed:     s.Absorbed,
@@ -117,6 +123,10 @@ func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 		ProbeHitRatio:    s.ProbeHitRatio(),
 		PlansPlanned:     s.PlansPlanned,
 		PlansReordered:   s.PlansReordered,
+
+		ProvEdges:   s.ProvEdges,
+		ProvParents: s.ProvParents,
+		ProvEvicted: s.ProvEvicted,
 	}
 }
 
