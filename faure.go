@@ -33,6 +33,7 @@ package faure
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"faure/internal/budget"
@@ -48,6 +49,7 @@ import (
 	"faure/internal/prov"
 	"faure/internal/rewrite"
 	"faure/internal/rib"
+	"faure/internal/serve"
 	"faure/internal/solver"
 	"faure/internal/verify"
 )
@@ -555,6 +557,9 @@ func AtLeastOneFailureProgram(src int, y, z string) *Program {
 // GenerateRIB builds the synthetic Table 4 workload.
 func GenerateRIB(cfg RIBConfig) *RIB { return rib.Generate(cfg) }
 
+// ParseRIB reads the textual RIB format written by RIB.Write.
+func ParseRIB(r io.Reader) (*RIB, error) { return rib.Parse(r) }
+
 // JoinTopoConfig parameterises the fat-tree join-stress topology.
 type JoinTopoConfig = network.JoinTopoConfig
 
@@ -586,3 +591,22 @@ var (
 	// ListingFourUpdate is the §5 update.
 	ListingFourUpdate = network.ListingFourUpdate
 )
+
+// Resident verification service (faure-serve).
+type (
+	// Service is the resident verification service: an MVCC-style
+	// snapshot store of evaluated generations, served concurrently,
+	// with a single writer draining updates through the rewrite chain
+	// and the incremental evaluator, journaled to a write-ahead log.
+	Service = serve.Server
+	// ServiceConfig assembles a Service.
+	ServiceConfig = serve.Config
+	// ServiceGeneration is one immutable snapshot of the service state.
+	ServiceGeneration = serve.Generation
+)
+
+// Serve builds the resident service: the program is evaluated once to
+// the warm generation, the write-ahead log (if configured) is replayed,
+// and the update writer starts. Mount Service.Handler on an HTTP
+// server and Shutdown on exit.
+func Serve(cfg ServiceConfig) (*Service, error) { return serve.New(cfg) }

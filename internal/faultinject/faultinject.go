@@ -24,18 +24,36 @@ import (
 
 // Point names an injection site. The production sites:
 //
-//	solver.sat          — entry of every Solver.Satisfiable decision
-//	faurelog.iteration  — top of every fixpoint round (scratch and incremental)
-//	relstore.insert     — every Relation.Insert
-//	minisql.loop        — top of every LOOP pass
+//	solver.sat                — entry of every Solver.Satisfiable decision
+//	faurelog.iteration        — top of every fixpoint round (scratch and incremental)
+//	faurelog.increment.commit — after incremental propagation converges, before
+//	                            the result database is assembled (the increment's
+//	                            commit point)
+//	relstore.insert           — every Relation.Insert
+//	minisql.loop              — top of every LOOP pass
+//	rewrite.apply             — once per change while ApplyBudgeted materialises
+//	                            an update (deletes first, then inserts), so the
+//	                            Nth change of an update can fail deterministically
+//	serve.wal.append          — after a WAL record body is buffered, before its
+//	                            commit marker is written (simulates a torn record)
+//	serve.wal.sync            — before the WAL fsync returns (simulates a crash
+//	                            with the record buffered but not durable)
+//	serve.publish             — after the WAL commit, before the new generation
+//	                            is published to readers (simulates a crash between
+//	                            durability and visibility)
 type Point string
 
 // The registered production injection sites.
 const (
-	SolverSat         Point = "solver.sat"
-	FaurelogIteration Point = "faurelog.iteration"
-	RelstoreInsert    Point = "relstore.insert"
-	MinisqlLoop       Point = "minisql.loop"
+	SolverSat               Point = "solver.sat"
+	FaurelogIteration       Point = "faurelog.iteration"
+	FaurelogIncrementCommit Point = "faurelog.increment.commit"
+	RelstoreInsert          Point = "relstore.insert"
+	MinisqlLoop             Point = "minisql.loop"
+	RewriteApply            Point = "rewrite.apply"
+	ServeWALAppend          Point = "serve.wal.append"
+	ServeWALSync            Point = "serve.wal.sync"
+	ServePublish            Point = "serve.publish"
 )
 
 type plan struct {

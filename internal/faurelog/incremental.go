@@ -7,8 +7,15 @@ import (
 
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 	"faure/internal/obs"
 )
+
+// seedCheckEvery is how many seeded facts pass between cancellation
+// polls while EvalIncrement inserts its initial delta: coarse enough
+// to stay off the hot path, fine enough that a canceled context stops
+// a million-fact batch within microseconds.
+const seedCheckEvery = 256
 
 // EvalIncrement extends a previous evaluation with newly inserted EDB
 // facts, re-deriving only what the additions enable: semi-naive
@@ -23,6 +30,17 @@ import (
 // (negation is not insertion-monotone: a new fact can retract
 // conclusions, which requires deletion propagation this engine does
 // not implement — re-evaluate from scratch instead).
+//
+// Cancellation is honored exactly as in Eval: Options.Context (or a
+// canceled Options.Budget) is polled while the new facts are seeded
+// and at every propagation round, so a client disconnect aborts the
+// increment at its next checkpoint with a Truncated partial result
+// instead of running to completion. prev is never mutated — the seeded
+// facts and re-derivations live in the engine's private store, so an
+// aborted increment leaves the caller's database untouched. The
+// faultinject point faurelog.increment.commit fires after propagation
+// converges, immediately before the result database is assembled, so
+// crash-recovery tests can fail the commit deterministically.
 func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctable.Tuple, opts Options) (*Result, error) {
 	for _, r := range prog.Rules {
 		for _, a := range r.Body {
@@ -62,12 +80,19 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	// Insert the new facts, recording the genuinely new ones as the
 	// initial delta. The touched EDB relations are exported into the
 	// result so successive increments see the accumulated facts.
+	// Cancellation is polled every seedCheckEvery insertions, so a
+	// canceled client aborts even a huge fact batch promptly; a trip
+	// here degrades to a Truncated partial result exactly like a trip
+	// during propagation.
+	var runErr error
 	seedDelta := delta{}
 	addedPreds := make([]string, 0, len(added))
 	for pred := range added {
 		addedPreds = append(addedPreds, pred)
 	}
 	sort.Strings(addedPreds)
+	seeded := 0
+seedLoop:
 	for _, pred := range addedPreds {
 		tuples := added[pred]
 		e.extraExport = append(e.extraExport, pred)
@@ -89,6 +114,13 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 			e.seen[pred] = seen
 		}
 		for _, tp := range tuples {
+			if seeded%seedCheckEvery == 0 {
+				if err := e.bud.Check("increment seed"); err != nil {
+					runErr = err
+					break seedLoop
+				}
+			}
+			seeded++
 			if len(tp.Values) != rel.Arity {
 				return nil, fmt.Errorf("faurelog: inserted tuple arity %d, relation %s has %d", len(tp.Values), pred, rel.Arity)
 			}
@@ -124,26 +156,35 @@ func EvalIncrement(prog *Program, prev *ctable.Database, added map[string][]ctab
 	// deltas accumulated so far (its own head deltas feed later
 	// strata).
 	pending := seedDelta
-	var runErr error
-	for si, preds := range strata {
-		inStratum := map[string]bool{}
-		for _, pr := range preds {
-			inStratum[pr] = true
-		}
-		var rules []Rule
-		for _, r := range e.prog.Rules {
-			if inStratum[r.Head.Pred] {
-				rules = append(rules, r)
+	if runErr == nil {
+		for si, preds := range strata {
+			inStratum := map[string]bool{}
+			for _, pr := range preds {
+				inStratum[pr] = true
+			}
+			var rules []Rule
+			for _, r := range e.prog.Rules {
+				if inStratum[r.Head.Pred] {
+					rules = append(rules, r)
+				}
+			}
+			newHere, err := e.propagate(rules, pending, evalSpan, si)
+			if err != nil {
+				runErr = err
+				break
+			}
+			for pred, tuples := range newHere {
+				pending[pred] = append(pending[pred], tuples...)
 			}
 		}
-		newHere, err := e.propagate(rules, pending, evalSpan, si)
-		if err != nil {
-			runErr = err
-			break
-		}
-		for pred, tuples := range newHere {
-			pending[pred] = append(pending[pred], tuples...)
-		}
+	}
+	// The increment's commit point: propagation has converged and the
+	// result database is about to be assembled. Tests arm this point to
+	// make a mid-update crash deterministic (the serve writer treats the
+	// error as a failed apply and rolls back to the previous
+	// generation).
+	if runErr == nil && faultinject.Armed() {
+		runErr = faultinject.Fire(faultinject.FaurelogIncrementCommit)
 	}
 	if runErr == nil && e.opts.NoEagerPrune {
 		var sp obs.Span

@@ -1,13 +1,17 @@
 package faurelog
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 	"faure/internal/solver"
 )
 
@@ -260,5 +264,83 @@ func TestIncrementSequential(t *testing.T) {
 	}
 	if got := res.DB.Table("link").Len(); got != 4 {
 		t.Errorf("link = %d, want 4", got)
+	}
+}
+
+// TestIncrementHonorsCancellation: a canceled context aborts the
+// increment at its next checkpoint with a Truncated partial result —
+// exactly the contract Eval has — and the previous database is left
+// untouched. This is what lets a server propagate a client disconnect
+// into an in-flight incremental apply.
+func TestIncrementHonorsCancellation(t *testing.T) {
+	db, err := ParseDatabase(`link(1, 2).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := reachProg()
+	base, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDump := FormatDatabase(base.DB)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // disconnect before the increment starts
+
+	// A batch far larger than the seed-loop poll interval, so the
+	// cancellation must fire inside the seeding phase.
+	var adds []ctable.Tuple
+	for i := 0; i < 4*seedCheckEvery; i++ {
+		adds = append(adds, linkTuple(2+i, 3+i, nil))
+	}
+	res, err := EvalIncrement(prog, base.DB, map[string][]ctable.Tuple{"link": adds}, Options{Context: ctx})
+	if err != nil {
+		t.Fatalf("cancellation must degrade, not error: %v", err)
+	}
+	if res.Truncated == nil {
+		t.Fatal("canceled increment returned an untruncated result")
+	}
+	if res.Truncated.Kind != budget.Canceled {
+		t.Errorf("Truncated.Kind = %s, want canceled", res.Truncated.Kind)
+	}
+	// prev is untouched: the aborted increment's partial work lives in
+	// the engine's private store only.
+	if FormatDatabase(base.DB) != prevDump {
+		t.Error("aborted increment mutated the previous database")
+	}
+}
+
+// TestIncrementCommitFaultDegrades: the faurelog.increment.commit
+// point converts a converged increment into a failure without
+// corrupting the caller's database — the hook crash-recovery tests
+// hang off.
+func TestIncrementCommitFaultDegrades(t *testing.T) {
+	defer faultinject.Disarm()
+	db, err := ParseDatabase(`link(1, 2).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := reachProg()
+	base, err := Eval(prog, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDump := FormatDatabase(base.DB)
+	faultinject.Arm(faultinject.FaurelogIncrementCommit, 1, errors.New("injected commit crash"))
+	_, err = EvalIncrement(prog, base.DB, map[string][]ctable.Tuple{
+		"link": {linkTuple(2, 3, nil)},
+	}, Options{})
+	if err == nil {
+		t.Fatal("armed commit point did not fail the increment")
+	}
+	if FormatDatabase(base.DB) != prevDump {
+		t.Error("failed increment mutated the previous database")
+	}
+	faultinject.Disarm()
+	// The path is clean again once disarmed.
+	if _, err := EvalIncrement(prog, base.DB, map[string][]ctable.Tuple{
+		"link": {linkTuple(2, 3, nil)},
+	}, Options{}); err != nil {
+		t.Fatalf("increment after disarm: %v", err)
 	}
 }

@@ -85,23 +85,7 @@ func ServeDebugContext(ctx context.Context, addr string, reg *Registry) (*DebugS
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		var snap Snapshot
-		if reg != nil {
-			snap = reg.Snapshot()
-		}
-		switch metricsFormat(r) {
-		case "text":
-			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			_, _ = w.Write([]byte(snap.Text()))
-		case "prom":
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			_, _ = w.Write([]byte(snap.Prometheus()))
-		default:
-			w.Header().Set("Content-Type", "application/json")
-			_, _ = w.Write([]byte(snap.JSON()))
-		}
-	})
+	mux.Handle("/metrics", MetricsHandler(reg))
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -122,6 +106,32 @@ func ServeDebugContext(ctx context.Context, addr string, reg *Registry) (*DebugS
 		}()
 	}
 	return d, nil
+}
+
+// MetricsHandler serves a registry snapshot with format negotiation:
+// JSON by default, ?format=text for the human-readable report,
+// ?format=prom (or a Prometheus Accept header) for the text
+// exposition. The debug server mounts it on /metrics; faure-serve
+// mounts the same handler on its service mux so one scrape config
+// covers both. reg may be nil (empty snapshot).
+func MetricsHandler(reg *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var snap Snapshot
+		if reg != nil {
+			snap = reg.Snapshot()
+		}
+		switch metricsFormat(r) {
+		case "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_, _ = w.Write([]byte(snap.Text()))
+		case "prom":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_, _ = w.Write([]byte(snap.Prometheus()))
+		default:
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(snap.JSON()))
+		}
+	})
 }
 
 // metricsFormat resolves the response format: the explicit format

@@ -15,6 +15,7 @@ import (
 	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 	"faure/internal/faurelog"
 	"faure/internal/obs"
 )
@@ -129,15 +130,31 @@ func Apply(db *ctable.Database, u Update) (*ctable.Database, error) {
 }
 
 // ApplyBudgeted is Apply under a resource budget: cancellation and the
-// wall clock are polled per deletion change (each rewrites a whole
+// wall clock are polled per change (each deletion rewrites a whole
 // relation, the coarse unit of work here). A nil budget disables the
 // checks.
+//
+// Atomicity contract: the input database is never mutated, whatever
+// the outcome. All work happens on a private clone; on success the
+// clone is returned, and on any error — validation failure, budget
+// trip, injected fault — the clone is discarded and the caller's
+// database is bit-identical to what it was before the call. A
+// long-lived caller (the faure-serve writer loop) may therefore keep
+// serving the input database after a failed apply and retry later
+// without any repair step. The faultinject point rewrite.apply fires
+// once per change (deletes first, then inserts), so tests can fail the
+// Nth change of an update deterministically.
 func ApplyBudgeted(db *ctable.Database, u Update, bud *budget.B) (*ctable.Database, error) {
 	if err := u.Validate(db); err != nil {
 		return nil, err
 	}
 	out := db.Clone()
 	for _, c := range u.Deletes {
+		if faultinject.Armed() {
+			if err := faultinject.Fire(faultinject.RewriteApply); err != nil {
+				return nil, err
+			}
+		}
 		if err := bud.Check("update delete " + c.Pred); err != nil {
 			return nil, err
 		}
@@ -160,6 +177,14 @@ func ApplyBudgeted(db *ctable.Database, u Update, bud *budget.B) (*ctable.Databa
 		tbl.Tuples = kept
 	}
 	for _, c := range u.Inserts {
+		if faultinject.Armed() {
+			if err := faultinject.Fire(faultinject.RewriteApply); err != nil {
+				return nil, err
+			}
+		}
+		if err := bud.Check("update insert " + c.Pred); err != nil {
+			return nil, err
+		}
 		tbl := out.Table(c.Pred)
 		if tbl == nil {
 			attrs := make([]string, len(c.Values))

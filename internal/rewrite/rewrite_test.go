@@ -1,11 +1,16 @@
 package rewrite
 
 import (
+	"errors"
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
+	"faure/internal/budget"
 	"faure/internal/cond"
 	"faure/internal/ctable"
+	"faure/internal/faultinject"
 	"faure/internal/faurelog"
 	"faure/internal/solver"
 )
@@ -367,4 +372,69 @@ func FuzzParseUpdate(f *testing.F) {
 			t.Fatalf("round trip changed shape: %v vs %v", u, again)
 		}
 	})
+}
+
+// TestApplyBudgetedAtomicity pins the documented contract: whatever
+// the outcome — success, budget trip, injected fault at any change —
+// the input database is bit-identical to what it was before the call.
+// The faure-serve writer relies on this to keep serving the current
+// generation after a failed apply with no repair step.
+func TestApplyBudgetedAtomicity(t *testing.T) {
+	mk := func() *ctable.Database {
+		db := ctable.NewDatabase()
+		db.DeclareVar("x", solver.BoolDomain())
+		tbl := ctable.NewTable("lb", "team", "dst")
+		tbl.MustInsert(cond.Compare(cond.CVar("x"), cond.Eq, cond.Int(1)), cond.Str("Mkt"), cond.Str("CS"))
+		tbl.MustInsert(nil, cond.Str("R&D"), cond.Str("CS"))
+		db.AddTable(tbl)
+		return db
+	}
+	dump := func(db *ctable.Database) string {
+		var b strings.Builder
+		for _, name := range db.TableNames() {
+			fmt.Fprintf(&b, "%v\n", db.Table(name))
+		}
+		return b.String()
+	}
+	u := Update{
+		Inserts: []Change{lbChange("R&D", "GS"), lbChange("Ops", "GS")},
+		Deletes: []Change{lbChange("Mkt", "CS")},
+	}
+
+	// Success leaves the input untouched.
+	db := mk()
+	before := dump(db)
+	if _, err := ApplyBudgeted(db, u, nil); err != nil {
+		t.Fatal(err)
+	}
+	if dump(db) != before {
+		t.Error("successful apply mutated the input")
+	}
+
+	// An injected fault at every change position (deletes fire first,
+	// then inserts) discards the clone and leaves the input untouched.
+	for nth := 1; nth <= 3; nth++ {
+		faultinject.Arm(faultinject.RewriteApply, nth, errors.New("injected"))
+		db := mk()
+		before := dump(db)
+		if _, err := ApplyBudgeted(db, u, nil); err == nil {
+			t.Fatalf("change %d: armed apply succeeded", nth)
+		}
+		if dump(db) != before {
+			t.Errorf("change %d: failed apply mutated the input", nth)
+		}
+		faultinject.Disarm()
+	}
+
+	// A budget trip behaves the same.
+	bud := budget.New(nil, budget.Limits{Timeout: time.Nanosecond})
+	time.Sleep(time.Millisecond)
+	db = mk()
+	before = dump(db)
+	if _, err := ApplyBudgeted(db, u, bud); err == nil {
+		t.Skip("nanosecond deadline did not trip")
+	}
+	if dump(db) != before {
+		t.Error("budget-tripped apply mutated the input")
+	}
 }

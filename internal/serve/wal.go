@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+
+	"faure/internal/faultinject"
+	"faure/internal/rewrite"
+)
+
+// The write-ahead log is an append-only text file of applied updates.
+// Each record is framed by marker lines:
+//
+//	#begin 3 push-17
+//	+fwd(F0, 1, 9).
+//	-fwd(F0, 1, 2).
+//	#commit 3
+//
+// The body lines are the ParseUpdate textual format; the id field is
+// the client-supplied update id ("-" when absent), which makes
+// re-submission after a lost acknowledgement idempotent. A record
+// counts only once its #commit marker (with matching sequence) is on
+// disk; the writer fsyncs after the marker and publishes the new
+// generation only after the fsync returns, so the WAL is always at or
+// ahead of the published state. On startup, replay applies every
+// committed record in order through the same apply path as the live
+// writer — the recovered database is therefore bit-identical to the
+// pre-crash state — and a torn tail (a crash mid-append) is truncated
+// away, never treated as corruption.
+//
+// Failure discipline: any append error — a real I/O failure or an
+// injected fault — marks the log failed and performs no repair, which
+// is exactly what a crash would leave behind. A failed WAL degrades
+// the server to read-only (updates are rejected with 503, reads keep
+// serving the last good generation); the torn bytes are cleaned up by
+// the truncation pass of the next restart's replay.
+
+// walRecord is one committed update.
+type walRecord struct {
+	Seq  uint64
+	ID   string // client update id, "" when none was supplied
+	Text string // update body in the ParseUpdate format
+	U    rewrite.Update
+}
+
+// wal is the open write-ahead log.
+type wal struct {
+	mu     sync.Mutex
+	f      *os.File
+	failed error // first append failure; sticky, no repair (see above)
+}
+
+// formatUpdate renders an update as ParseUpdate-compatible lines
+// (inserts first, then deletes, one signed fact per line).
+func formatUpdate(u rewrite.Update) string {
+	var b strings.Builder
+	for _, c := range u.Inserts {
+		b.WriteString("+")
+		b.WriteString(c.String())
+		b.WriteString(".\n")
+	}
+	for _, c := range u.Deletes {
+		b.WriteString("-")
+		b.WriteString(c.String())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}
+
+// readWAL scans the log, returning every committed record plus the
+// byte offset just past the last one. A torn tail — EOF or a missing /
+// mismatched #commit marker in the final record — ends the scan
+// cleanly at the last committed offset. Inconsistencies before the
+// tail (non-contiguous sequence numbers, an unparsable committed body)
+// are corruption and fail the open.
+func readWAL(f *os.File) ([]walRecord, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	r := bufio.NewReader(f)
+	var (
+		recs []walRecord
+		good int64
+		off  int64
+	)
+	readLine := func() (string, bool) {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			// A line without its newline is a torn write by definition.
+			return "", false
+		}
+		off += int64(len(line))
+		return strings.TrimSuffix(line, "\n"), true
+	}
+	for {
+		head, ok := readLine()
+		if !ok {
+			return recs, good, nil // clean EOF or torn begin line
+		}
+		if head == "" {
+			good = off // tolerate blank lines between records
+			continue
+		}
+		var seq uint64
+		var id string
+		if _, err := fmt.Sscanf(head, "#begin %d %s", &seq, &id); err != nil {
+			return recs, good, nil // torn or foreign tail: stop at last commit
+		}
+		var body strings.Builder
+		committed := false
+		for {
+			line, ok := readLine()
+			if !ok {
+				return recs, good, nil // torn body
+			}
+			if strings.HasPrefix(line, "#commit ") {
+				var cseq uint64
+				if _, err := fmt.Sscanf(line, "#commit %d", &cseq); err != nil || cseq != seq {
+					return recs, good, nil // torn / mismatched marker
+				}
+				committed = true
+				break
+			}
+			body.WriteString(line)
+			body.WriteString("\n")
+		}
+		if !committed {
+			return recs, good, nil
+		}
+		// Past the marker the record is durable: any problem now is
+		// corruption, not a torn tail.
+		want := uint64(len(recs) + 1)
+		if seq != want {
+			return nil, 0, fmt.Errorf("serve: wal corrupt: record %d follows %d committed records", seq, want-1)
+		}
+		u, err := rewrite.ParseUpdate(body.String())
+		if err != nil {
+			return nil, 0, fmt.Errorf("serve: wal corrupt: record %d: %w", seq, err)
+		}
+		if id == "-" {
+			id = ""
+		}
+		recs = append(recs, walRecord{Seq: seq, ID: id, Text: body.String(), U: u})
+		good = off
+	}
+}
+
+// openWAL opens (creating if needed) the log at path, replays its
+// committed records, truncates any torn tail, and leaves the file
+// positioned for appending.
+func openWAL(path string) (*wal, []walRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs, good, err := readWAL(f)
+	if err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, err
+	}
+	return &wal{f: f}, recs, nil
+}
+
+// append journals one applied update: begin marker, body, commit
+// marker, fsync. It returns only after the record is durable. The
+// faultinject points serve.wal.append (between body and commit marker)
+// and serve.wal.sync (before the fsync) simulate crashes at the two
+// interesting instants; any failure marks the log failed without
+// repair — see the package comment for why.
+func (w *wal) append(rec walRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.failed != nil {
+		return fmt.Errorf("serve: wal failed, updates disabled: %w", w.failed)
+	}
+	fail := func(err error) error {
+		w.failed = err
+		return err
+	}
+	id := rec.ID
+	if id == "" {
+		id = "-"
+	}
+	if _, err := fmt.Fprintf(w.f, "#begin %d %s\n%s", rec.Seq, id, rec.Text); err != nil {
+		return fail(err)
+	}
+	if faultinject.Armed() {
+		if err := faultinject.Fire(faultinject.ServeWALAppend); err != nil {
+			return fail(err) // torn record: body on disk, no commit marker
+		}
+	}
+	if _, err := fmt.Fprintf(w.f, "#commit %d\n", rec.Seq); err != nil {
+		return fail(err)
+	}
+	if faultinject.Armed() {
+		if err := faultinject.Fire(faultinject.ServeWALSync); err != nil {
+			return fail(err) // record written but not known durable
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// Failed returns the sticky append failure, or nil while the log is
+// healthy.
+func (w *wal) Failed() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed
+}
+
+// close fsyncs (best effort once failed) and closes the file.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	var err error
+	if w.failed == nil {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
