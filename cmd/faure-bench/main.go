@@ -106,9 +106,12 @@ func checkBaseline(w io.Writer, basePath, headPath string, pct float64) error {
 }
 
 // compareReports matches workloads by (name, prefixes) and returns one
-// line per wall-time regression beyond pct percent. Workloads below
-// floorMS in the baseline, or present in only one report, are skipped
-// — the gate watches known workloads large enough to time reliably.
+// line per regression beyond pct percent, on wall time and on the
+// solver phase separately — a solver regression hidden inside a flat
+// wall time (relational noise moving the other way) still trips the
+// gate. Phases below floorMS in the baseline, or workloads present in
+// only one report, are skipped — the gate watches known workloads
+// large enough to time reliably.
 func compareReports(base, head benchReport, pct, floorMS float64) []string {
 	type key struct {
 		name     string
@@ -121,14 +124,24 @@ func compareReports(base, head benchReport, pct, floorMS float64) []string {
 	var regressions []string
 	for _, h := range head.Workloads {
 		b, ok := baseBy[key{h.Name, h.Prefixes}]
-		if !ok || b.WallMS < floorMS {
+		if !ok {
 			continue
 		}
-		limit := b.WallMS * (1 + pct/100)
-		if h.WallMS > limit {
-			regressions = append(regressions,
-				fmt.Sprintf("%s prefixes=%d wall %.1fms -> %.1fms (+%.0f%%, limit +%.0f%%)",
-					h.Name, h.Prefixes, b.WallMS, h.WallMS, (h.WallMS/b.WallMS-1)*100, pct))
+		for _, m := range []struct {
+			phase      string
+			base, head float64
+		}{
+			{"wall", b.WallMS, h.WallMS},
+			{"solver", b.SolverMS, h.SolverMS},
+		} {
+			if m.base < floorMS {
+				continue
+			}
+			if m.head > m.base*(1+pct/100) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s prefixes=%d %s %.1fms -> %.1fms (+%.0f%%, limit +%.0f%%)",
+						h.Name, h.Prefixes, m.phase, m.base, m.head, (m.head/m.base-1)*100, pct))
+			}
 		}
 	}
 	return regressions
@@ -175,7 +188,19 @@ type benchWorkload struct {
 	// syntactic fast path to a semantic solver probe.
 	AbsorbProbes int `json:"absorb_probes"`
 	SatCalls     int `json:"sat_calls"`
-	Tuples       int `json:"tuples"`
+	// Incremental-solver counters: exact-key certificate hits, related-
+	// certificate hits (base-witness replay / DAG propagation), compiled
+	// finite-domain fast-path hits, decisions that reached actual
+	// search, certificate-store evictions, and the headline ratio
+	// solver_searches / derived (well below 1 when certificates carry
+	// the run).
+	SolverCacheHits    int     `json:"solver_cache_hits"`
+	SolverCertHits     int     `json:"solver_cert_hits"`
+	SolverFastPathHits int     `json:"solver_fastpath_hits"`
+	SolverSearches     int     `json:"solver_searches"`
+	MemoEvictions      int64   `json:"memo_evictions"`
+	SatCallsPerDerived float64 `json:"sat_calls_per_derived"`
+	Tuples             int     `json:"tuples"`
 	// Intern counters: condition intern-table hit/miss deltas
 	// attributed to this workload's evaluation and the table's live
 	// node count when it finished (process-wide, monotonic across the
@@ -431,6 +456,14 @@ func workloadFromRow(row faure.Table4Row, prefixes int) benchWorkload {
 		Absorbed:     row.Absorbed,
 		AbsorbProbes: row.AbsorbProbes,
 		SatCalls:     row.SatCalls,
+
+		SolverCacheHits:    row.SolverCacheHits,
+		SolverCertHits:     row.SolverCertHits,
+		SolverFastPathHits: row.SolverFastPathHits,
+		SolverSearches:     row.SolverSearches,
+		MemoEvictions:      row.MemoEvictions,
+		SatCallsPerDerived: row.SatCallsPerDerived,
+
 		Tuples:       row.Tuples,
 		InternHits:   row.InternHits,
 		InternMisses: row.InternMisses,

@@ -78,16 +78,24 @@ func TestRunJSONReport(t *testing.T) {
 	}
 	golden := benchReport{
 		Benchmark: "table4", Seed: 1, Pool: 10, Workers: 1,
+		// The incremental-solver counters are exact on purpose: every
+		// workload must show zero search-reaching decisions (certificates
+		// and the fd fast path answer everything at this scale).
 		Workloads: []benchWorkload{
 			{Name: "q4-q5", Prefixes: 50, Iterations: 6, Derived: 1815, Pruned: 520, AbsorbProbes: 228, SatCalls: 2563, Tuples: 1815,
+				SolverCacheHits: 2031, SolverCertHits: 214, SolverFastPathHits: 318,
 				StoreProbes: 1815, StoreScans: 2, ProbeHitRatio: 1815.0 / 1817.0, PlansPlanned: 7, PlansReordered: 1},
 			{Name: "q6", Prefixes: 50, Iterations: 1, Derived: 1815, AbsorbProbes: 228, SatCalls: 2043, Tuples: 1815,
+				SolverCacheHits: 1643, SolverCertHits: 214, SolverFastPathHits: 186,
 				StoreScans: 1},
 			{Name: "q7", Prefixes: 50, Iterations: 1, Derived: 17, Pruned: 2, AbsorbProbes: 3, SatCalls: 22, Tuples: 17,
+				SolverCacheHits: 2, SolverCertHits: 3, SolverFastPathHits: 17,
 				StoreProbes: 1, ProbeHitRatio: 1},
 			{Name: "q8", Prefixes: 50, Iterations: 1, Derived: 293, AbsorbProbes: 65, SatCalls: 358, Tuples: 293,
+				SolverCacheHits: 201, SolverCertHits: 64, SolverFastPathHits: 93,
 				StoreProbes: 1, ProbeHitRatio: 1},
 			{Name: "join", Prefixes: 50, Iterations: 3, Derived: 1784, Pruned: 2649, Absorbed: 1893, AbsorbProbes: 3054, SatCalls: 8771, Tuples: 1311,
+				SolverCacheHits: 7567, SolverCertHits: 18, SolverFastPathHits: 1186,
 				StoreProbes: 495, StoreMultiProbes: 95, StoreScans: 11, Intersections: 26,
 				ProbeHitRatio: 590.0 / 601.0, PlansPlanned: 2, PlansReordered: 2},
 		},

@@ -424,6 +424,65 @@ func (a Atom) EvalGround() (bool, error) {
 	return false, fmt.Errorf("cond: incomparable terms in %v", a)
 }
 
+// EvalUnder evaluates the atom under a (possibly partial) assignment
+// of its c-variables, without substituting or interning anything:
+// lookup returns the value bound to a c-variable, or ok=false when it
+// is unbound. The result is (value, true, nil) when every c-variable
+// resolved and the comparison is well-typed, (false, false, nil) when
+// some c-variable is unbound, and (false, false, err) for the exact
+// type mixes EvalGround rejects (order over mixed kinds, non-integer
+// summands). Under a total assignment it agrees with
+// Subst(...).EvalGround() atom for atom.
+func (a Atom) EvalUnder(lookup func(name string) (Term, bool)) (bool, bool, error) {
+	resolve := func(t Term) (Term, bool) {
+		if t.IsCVar() {
+			v, ok := lookup(t.S)
+			return v, ok
+		}
+		return t, true
+	}
+	if len(a.Sum) > 1 {
+		var sum int64
+		for _, t := range a.Sum {
+			v, ok := resolve(t)
+			if !ok {
+				return false, false, nil
+			}
+			if !v.IsInt() {
+				return false, false, fmt.Errorf("cond: non-integer term %v in sum %v", v, a)
+			}
+			sum += v.I
+		}
+		r, ok := resolve(a.RHS)
+		if !ok {
+			return false, false, nil
+		}
+		if !r.IsInt() {
+			return false, false, fmt.Errorf("cond: non-integer right side in %v", a)
+		}
+		return compareInts(sum, a.Op, r.I), true, nil
+	}
+	l, lok := resolve(a.Sum[0])
+	r, rok := resolve(a.RHS)
+	if !lok || !rok {
+		return false, false, nil
+	}
+	switch a.Op {
+	case Eq:
+		return l.Equal(r), true, nil
+	case Ne:
+		return !l.Equal(r), true, nil
+	}
+	if l.IsInt() && r.IsInt() {
+		return compareInts(l.I, a.Op, r.I), true, nil
+	}
+	if l.Kind == KStr && r.Kind == KStr {
+		c := strings.Compare(l.S, r.S)
+		return compareInts(int64(c), a.Op, 0), true, nil
+	}
+	return false, false, fmt.Errorf("cond: incomparable terms in %v", a)
+}
+
 func compareInts(l int64, op Op, r int64) bool {
 	switch op {
 	case Eq:

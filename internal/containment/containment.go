@@ -279,7 +279,10 @@ func ruleContained(r faurelog.Rule, container *faurelog.Program, base map[string
 	if !sat {
 		return true, nil
 	}
-	contained, err := s.Implies(assumption, cond.Or(panics...))
+	// The assumption was just decided sat above, so passing it as the
+	// incremental base lets the solver replay its witness over the
+	// entailment check (assumption ∧ ¬panics entails it).
+	contained, err := s.ImpliesFrom(assumption, cond.Or(panics...), assumption)
 	if obsOn && err == nil {
 		span.SetAttrs(obs.Bool("contained", contained))
 	}

@@ -133,6 +133,16 @@ type Stats struct {
 	Absorbed   int // tuples dropped by semantic absorption
 	Iterations int // total fixpoint rounds across strata
 	SatCalls   int // solver satisfiability decisions
+	// Incremental-solver counters (see internal/solver): decisions
+	// answered by an exact-key cached certificate, by a related
+	// certificate (base replay / DAG propagation), by the compiled
+	// finite-domain fast path, how many reached actual search, and how
+	// many certificate-store entries were clock-evicted.
+	SolverCacheHits    int
+	SolverCertHits     int
+	SolverFastPathHits int
+	SolverSearches     int
+	MemoEvictions      int64
 	// AbsorbProbes counts absorption checks that actually reached the
 	// solver's Implies — the syntactic fast path answers the rest for
 	// free, so the gap between absorption candidates and probes is the
@@ -180,6 +190,17 @@ func (s Stats) ProbeHitRatio() float64 {
 	}.HitRatio()
 }
 
+// SatCallsPerDerived is the run's search-reaching solver decisions per
+// derived tuple — the headline metric for the incremental solver: a
+// value well below 1 means most conditions were decided by certificate
+// reuse or the compiled finite-domain fast path rather than search.
+func (s Stats) SatCallsPerDerived() float64 {
+	if s.Derived == 0 {
+		return 0
+	}
+	return float64(s.SolverSearches) / float64(s.Derived)
+}
+
 // Add accumulates other into s.
 func (s *Stats) Add(other Stats) {
 	s.SQLTime += other.SQLTime
@@ -189,6 +210,11 @@ func (s *Stats) Add(other Stats) {
 	s.Absorbed += other.Absorbed
 	s.Iterations += other.Iterations
 	s.SatCalls += other.SatCalls
+	s.SolverCacheHits += other.SolverCacheHits
+	s.SolverCertHits += other.SolverCertHits
+	s.SolverFastPathHits += other.SolverFastPathHits
+	s.SolverSearches += other.SolverSearches
+	s.MemoEvictions += other.MemoEvictions
 	s.AbsorbProbes += other.AbsorbProbes
 	s.InternHits += other.InternHits
 	s.InternMisses += other.InternMisses
@@ -421,16 +447,23 @@ func (e *engine) noteArity(pred string, n int) {
 // timedSat wraps a solver call, attributing its latency to the solver
 // phase rather than the relational phase.
 func (e *engine) timedSat(f *cond.Formula) (bool, error) {
+	return e.timedSatFrom(f, nil)
+}
+
+// timedSatFrom passes the base condition's certificate hint through to
+// the incremental solver (see solver.SatisfiableFrom); nil base is a
+// plain satisfiability call.
+func (e *engine) timedSatFrom(f, base *cond.Formula) (bool, error) {
 	start := time.Now()
-	sat, err := e.sol.Satisfiable(f)
+	sat, err := e.sol.SatisfiableFrom(f, base)
 	e.stats.SolverTime += time.Since(start)
 	e.stats.SatCalls++
 	return sat, err
 }
 
-func (e *engine) timedImplies(f, g *cond.Formula) (bool, error) {
+func (e *engine) timedImpliesFrom(f, g, base *cond.Formula) (bool, error) {
 	start := time.Now()
-	ok, err := e.sol.Implies(f, g)
+	ok, err := e.sol.ImpliesFrom(f, g, base)
 	e.stats.SolverTime += time.Since(start)
 	e.stats.SatCalls++
 	return ok, err
@@ -461,6 +494,7 @@ func (e *engine) run() error {
 	// exceed the wall clock; the relational column clamps at zero
 	// instead of going negative.
 	e.stats.SQLTime = max(0, time.Since(start)-e.stats.SolverTime)
+	e.captureSolverStats()
 	e.captureInternStats()
 	e.captureStoreStats()
 	e.captureProvStats()
@@ -482,6 +516,26 @@ func (e *engine) captureProvStats() {
 	e.stats.ProvEdges = now.Recorded - e.provStart.Recorded
 	e.stats.ProvParents = now.Parents - e.provStart.Parents
 	e.stats.ProvEvicted = now.Evicted - e.provStart.Evicted
+}
+
+// captureSolverStats folds the solvers' certificate counters into the
+// run's Stats. Worker solvers merge into the base solver at round
+// barriers; any residue since the last barrier is summed here (workers
+// reset at each fold, so nothing double-counts). Memo evictions
+// combine the per-solver cache evictions with the shared store's.
+func (e *engine) captureSolverStats() {
+	ss := e.sol.Stats()
+	for _, w := range e.wrk {
+		ss.Add(w.sol.Stats())
+	}
+	e.stats.SolverCacheHits = ss.CacheHits
+	e.stats.SolverCertHits = ss.CertHits
+	e.stats.SolverFastPathHits = ss.FastPathHits
+	e.stats.SolverSearches = ss.Searches()
+	e.stats.MemoEvictions = int64(ss.Evictions)
+	if e.memo != nil {
+		e.stats.MemoEvictions += e.memo.Evictions()
+	}
 }
 
 // captureInternStats folds the condition intern table's counters into
@@ -549,6 +603,12 @@ func (e *engine) reportTotals(evalSpan obs.Span) {
 	e.o.Count("eval.absorbed", int64(e.stats.Absorbed))
 	e.o.Count("eval.iterations", int64(e.stats.Iterations))
 	e.o.Count("eval.sat_calls", int64(e.stats.SatCalls))
+	e.o.Count("eval.solver_cache_hits", int64(e.stats.SolverCacheHits))
+	e.o.Count("eval.solver_cert_hits", int64(e.stats.SolverCertHits))
+	e.o.Count("eval.solver_fastpath_hits", int64(e.stats.SolverFastPathHits))
+	e.o.Count("eval.solver_searches", int64(e.stats.SolverSearches))
+	e.o.Count("eval.memo_evictions", e.stats.MemoEvictions)
+	e.o.SetGauge("eval.sat_calls_per_derived", e.stats.SatCallsPerDerived())
 	e.o.Count("eval.absorb_probes", int64(e.stats.AbsorbProbes))
 	e.o.Count("eval.intern_hits", e.stats.InternHits)
 	e.o.Count("eval.intern_misses", e.stats.InternMisses)
@@ -1080,10 +1140,15 @@ func (e *engine) emit(r Rule, bind map[string]cond.Term, conds []*cond.Formula, 
 // instantiated head tuple with its canonical condition, precomputed
 // dedup keys, and (when tracing) the derivation provenance.
 type prepared struct {
-	pred    string
-	tp      ctable.Tuple
-	cond    *cond.Formula
-	key     ctable.TupleID
+	pred string
+	tp   ctable.Tuple
+	cond *cond.Formula
+	// base is the largest conjunct cond was built from — typically the
+	// source tuple's already-decided condition, which this round
+	// extended by a few atoms. The solver replays base's certificate
+	// (unsat verdict or satisfying witness) before searching cond.
+	base *cond.Formula
+	key  ctable.TupleID
 	dataKey [2]uint64 // data-part hash, for absorption grouping
 	ruleStr string    // set when tracing or recording provenance
 	srcs    []Source  // copied, set when tracing or recording provenance
@@ -1120,6 +1185,19 @@ func (e *engine) prepareEmit(r Rule, bind map[string]cond.Term, conds []*cond.Fo
 	if err := e.bud.CheckCond(condition.NAtoms(), "derived condition for "+r.Head.Pred); err != nil {
 		return prepared{}, false, err
 	}
+	// Incremental-solver base: the largest conjunct, typically a source
+	// tuple's already-decided condition. And() flattens, so the conjunct
+	// stays semantically entailed by condition even when it has no
+	// syntactic presence in the flattened node.
+	var base *cond.Formula
+	for _, g := range all {
+		if base == nil || g.NAtoms() > base.NAtoms() {
+			base = g
+		}
+	}
+	if base != nil && (base == condition || base.NAtoms() == 0) {
+		base = nil
+	}
 	values := make([]cond.Term, len(r.Head.Args))
 	for i, t := range r.Head.Args {
 		switch t.Kind {
@@ -1139,6 +1217,7 @@ func (e *engine) prepareEmit(r Rule, bind map[string]cond.Term, conds []*cond.Fo
 		pred:    r.Head.Pred,
 		tp:      tp,
 		cond:    condition,
+		base:    base,
 		key:     ctable.TupleID{D1: d[0], D2: d[1], Cond: condition.ID()},
 		dataKey: d,
 	}
@@ -1170,7 +1249,7 @@ func (e *engine) commit(p prepared, satKnown, sat bool, sink func(string, ctable
 	if !e.opts.NoEagerPrune {
 		if !satKnown {
 			var err error
-			sat, err = e.timedSat(p.cond)
+			sat, err = e.timedSatFrom(p.cond, p.base)
 			if err != nil {
 				return err
 			}
@@ -1257,7 +1336,10 @@ func (e *engine) absorbed(condition *cond.Formula, existing []*cond.Formula) (bo
 		}
 	}
 	e.stats.AbsorbProbes++
-	return e.timedImplies(condition, cond.Or(existing...))
+	// condition itself is the base: condition ∧ ¬(existing…) entails it,
+	// so its certificate (an unsat verdict in particular) short-circuits
+	// the entailment probe.
+	return e.timedImpliesFrom(condition, cond.Or(existing...), condition)
 }
 
 // finalPrune removes contradictory tuples from the derived relations

@@ -249,7 +249,7 @@ func (e *engine) runUnit(w *evalWorker, u unit, ur *unitResult) {
 		c := candidate{p: p}
 		if !e.opts.NoEagerPrune {
 			start := time.Now()
-			sat, err := w.sol.Satisfiable(p.cond)
+			sat, err := w.sol.SatisfiableFrom(p.cond, p.base)
 			ur.solverTime += time.Since(start)
 			ur.satCalls++
 			if err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"faure/internal/budget"
+	"faure/internal/cond"
 	"faure/internal/containment"
 	"faure/internal/ctable"
 	"faure/internal/faurelog"
@@ -136,7 +137,21 @@ func (s *Server) Handler() http.Handler {
 	if r, ok := s.cfg.Obs.(*obs.Registry); ok {
 		reg = r
 	}
-	mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+	// Refresh the condition intern-table gauges at scrape time (gauges,
+	// not counters, so repeated scrapes don't inflate anything): the
+	// batch commands snapshot these only at exit, which a resident
+	// service never reaches.
+	metrics := obs.MetricsHandler(reg)
+	mux.Handle("GET /metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if reg != nil {
+			is := cond.InternStatsNow()
+			reg.SetGauge("cond.intern_hits", float64(is.Hits))
+			reg.SetGauge("cond.intern_misses", float64(is.Misses))
+			reg.SetGauge("cond.intern_live", float64(is.Live))
+			reg.SetGauge("cond.intern_evictions", float64(is.Evictions))
+		}
+		metrics.ServeHTTP(w, r)
+	}))
 	mux.Handle("GET /v1/generation", s.guarded("generation", s.handleGeneration))
 	mux.Handle("POST /v1/verify", s.guarded("verify", s.handleVerify))
 	mux.Handle("POST /v1/query", s.guarded("query", s.handleQuery))

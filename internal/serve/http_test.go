@@ -423,3 +423,36 @@ func TestHTTPPanicBoundary(t *testing.T) {
 	}
 }
 
+
+// TestHTTPInternMetrics: /metrics refreshes the process-wide condition
+// intern-table gauges at scrape time, so a resident service exposes
+// them without ever reaching the batch commands' exit-time snapshot.
+func TestHTTPInternMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ts := newHTTPServer(t, func(c *Config) { c.Obs = reg })
+	code, body := getBody(t, ts.URL+"/metrics?format=prom")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, metric := range []string{
+		"faure_cond_intern_hits", "faure_cond_intern_misses",
+		"faure_cond_intern_live", "faure_cond_intern_evictions",
+	} {
+		if !strings.Contains(body, metric) {
+			t.Errorf("metrics exposition lacks %s", metric)
+		}
+	}
+	// Loading the snapshot interned conditions, so the live gauge is
+	// positive — the scrape reflects the current table, not a zero
+	// placeholder.
+	for _, line := range strings.Split(body, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, "faure_cond_intern_live %f", &v); err == nil {
+			if v <= 0 {
+				t.Errorf("faure_cond_intern_live = %v, want > 0", v)
+			}
+			return
+		}
+	}
+	t.Error("faure_cond_intern_live has no sample line")
+}

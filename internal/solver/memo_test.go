@@ -125,9 +125,9 @@ func TestSharedMemoEviction(t *testing.T) {
 // TestStatsAdd checks the merge arithmetic the parallel engine relies
 // on at barriers.
 func TestStatsAdd(t *testing.T) {
-	a := Stats{SatCalls: 1, CacheHits: 2, EnumNodes: 3, DPLLNodes: 4}
-	a.Add(Stats{SatCalls: 10, CacheHits: 20, EnumNodes: 30, DPLLNodes: 40})
-	want := Stats{SatCalls: 11, CacheHits: 22, EnumNodes: 33, DPLLNodes: 44}
+	a := Stats{SatCalls: 1, CacheHits: 2, CertHits: 3, FastPathHits: 4, FDNodes: 5, EnumNodes: 6, DPLLNodes: 7, Evictions: 8}
+	a.Add(Stats{SatCalls: 10, CacheHits: 20, CertHits: 30, FastPathHits: 40, FDNodes: 50, EnumNodes: 60, DPLLNodes: 70, Evictions: 80})
+	want := Stats{SatCalls: 11, CacheHits: 22, CertHits: 33, FastPathHits: 44, FDNodes: 55, EnumNodes: 66, DPLLNodes: 77, Evictions: 88}
 	if a != want {
 		t.Fatalf("Stats.Add = %+v, want %+v", a, want)
 	}

@@ -72,9 +72,30 @@ type Domains map[string]Domain
 // Stats counts the work a solver has performed.
 type Stats struct {
 	SatCalls  int // top-level satisfiability decisions
-	CacheHits int // decisions answered from the memo cache (own or shared)
-	EnumNodes int // finite-domain enumeration tree nodes visited
-	DPLLNodes int // residual case-split nodes visited
+	CacheHits int // decisions answered from a cached certificate (own or shared)
+	// CertHits counts decisions concluded from a *related* certificate
+	// without search: a base condition's witness replayed over the
+	// extended formula (SatisfiableFrom), a child verdict propagated
+	// bottom-up through And/Or/Not, or a cached validity answering
+	// Valid directly.
+	CertHits int
+	// FastPathHits counts decisions by the compiled finite-domain
+	// bitset fast path; FDNodes is how many DAG nodes it compiled.
+	FastPathHits int
+	FDNodes      int
+	EnumNodes    int // finite-domain enumeration tree nodes visited
+	DPLLNodes    int // residual case-split nodes visited
+	// Evictions counts certificate-store entries this solver's bounded
+	// cache clock-evicted to admit new ones.
+	Evictions int
+}
+
+// Searches is the number of top-level decisions that reached actual
+// search (enumeration or DPLL): SatCalls minus every flavour of
+// certificate reuse. This is the denominatorless form of the
+// "sat calls per derived tuple" metric the benchmarks track.
+func (s Stats) Searches() int {
+	return s.SatCalls - s.CacheHits - s.CertHits - s.FastPathHits
 }
 
 // Add accumulates other into s — the parallel engine merges each
@@ -83,8 +104,12 @@ type Stats struct {
 func (s *Stats) Add(other Stats) {
 	s.SatCalls += other.SatCalls
 	s.CacheHits += other.CacheHits
+	s.CertHits += other.CertHits
+	s.FastPathHits += other.FastPathHits
+	s.FDNodes += other.FDNodes
 	s.EnumNodes += other.EnumNodes
 	s.DPLLNodes += other.DPLLNodes
+	s.Evictions += other.Evictions
 }
 
 // Solver decides conditions under a fixed domain map. It memoises
@@ -94,10 +119,10 @@ func (s *Stats) Add(other Stats) {
 // SetSharedMemo).
 type Solver struct {
 	doms Domains
-	// cache holds this solver's own memo entries; shared is an optional
-	// read-only snapshot of decisions merged from other solvers at the
-	// caller's barriers.
-	cache  memoStore
+	// cache holds this solver's own certificate entries; shared is an
+	// optional read-only snapshot of decisions merged from other solvers
+	// at the caller's barriers.
+	cache  certStore
 	shared *Memo
 	stats  Stats
 	// o receives per-call latency, cache hit rate, and condition-size
@@ -105,74 +130,121 @@ type Solver struct {
 	// pays one branch and no clock reads.
 	o     obs.Observer
 	obsOn bool
-	// bud charges every search node (enumeration and DPLL) to a shared
-	// step budget; nil disables accounting.
+	// bud charges every search node (enumeration, DPLL, and fd
+	// compilation) to a shared step budget; nil disables accounting.
 	bud *budget.B
+	// noFast disables the compiled finite-domain fast path (ablation).
+	noFast bool
+	// pinned tracks own-cache entries the in-flight decision depends on
+	// (fd tables referenced by a compilation in progress); eviction
+	// skips them until the top-level call completes.
+	pinned []*certEntry
 }
 
-type satResult struct {
-	sat bool
-	err error
+// cert is the certificate attached to an interned formula id: cached
+// three-valued satisfiability and validity verdicts plus the evidence
+// that lets *related* decisions reuse it without search — a satisfying
+// finite-domain assignment (witness) and/or the compiled finite-domain
+// table. sat and valid are three-valued (+1 yes, -1 no, 0 undecided)
+// so a validity-only certificate never reads as "unsatisfiable".
+type cert struct {
+	sat     int8
+	valid   int8
+	err     error
+	witness map[string]cond.Term // satisfying finite-domain assignment; may be nil
+	fd      *fdTable             // compiled finite-domain lattice element; may be nil
 }
 
-// memoStore is a bounded memo map with clock (FIFO) eviction: once the
-// map reaches its limit, each new entry overwrites the oldest one
-// instead of being dropped, so long runs past the cap keep benefiting
-// from recent formulas. Keys are interned formula ids (cond.Formula.ID)
-// — process-local, so the memo must never be serialised; as a pure
-// cache that is fine.
-type memoStore struct {
-	limit int
-	m     map[uint64]satResult
-	ring  []uint64 // insertion ring; ring[pos] is the next eviction victim
-	pos   int
+// decidedSat reports whether the certificate answers a satisfiability
+// query outright (a cached non-budget error counts: re-running the
+// search would reproduce it).
+func (c cert) decidedSat() bool { return c.sat != 0 || c.err != nil }
+
+type certEntry struct {
+	c      cert
+	pinned bool
 }
 
-func newMemoStore(limit int) memoStore {
-	return memoStore{limit: limit, m: make(map[uint64]satResult)}
+// certStore is a bounded certificate map with clock (FIFO) eviction:
+// once the map reaches its limit, each new entry overwrites the oldest
+// unpinned one instead of being dropped, so long runs past the cap keep
+// benefiting from recent formulas. Keys are interned formula ids
+// (cond.Formula.ID) — process-local, so the store must never be
+// serialised; as a pure cache that is fine.
+type certStore struct {
+	limit     int
+	m         map[uint64]*certEntry
+	ring      []uint64 // insertion ring; ring[pos] is the next eviction candidate
+	pos       int
+	evictions int64
 }
 
-func (c *memoStore) get(k uint64) (satResult, bool) {
-	r, ok := c.m[k]
-	return r, ok
+func newCertStore(limit int) certStore {
+	return certStore{limit: limit, m: make(map[uint64]*certEntry)}
 }
 
-func (c *memoStore) put(k uint64, r satResult) {
+func (c *certStore) get(k uint64) (*certEntry, bool) {
+	e, ok := c.m[k]
+	return e, ok
+}
+
+// put inserts a new entry, clock-evicting the oldest unpinned entry
+// when full; pinned entries (in-flight fd compilations the current
+// decision still references) are skipped. Returns whether an existing
+// entry was evicted.
+func (c *certStore) put(k uint64, e *certEntry) bool {
 	if c.limit <= 0 {
-		return
+		return false
 	}
-	if _, exists := c.m[k]; exists {
-		c.m[k] = r
-		return
+	if old, exists := c.m[k]; exists {
+		old.c = e.c
+		return false
 	}
-	if len(c.m) >= c.limit {
-		delete(c.m, c.ring[c.pos])
+	if len(c.m) < c.limit {
+		c.ring = append(c.ring, k)
+		c.m[k] = e
+		return false
+	}
+	for scanned := 0; scanned < len(c.ring); scanned++ {
+		victim := c.ring[c.pos]
+		if ve := c.m[victim]; ve != nil && ve.pinned {
+			c.pos = (c.pos + 1) % len(c.ring)
+			continue
+		}
+		delete(c.m, victim)
 		c.ring[c.pos] = k
 		c.pos = (c.pos + 1) % len(c.ring)
-	} else {
-		c.ring = append(c.ring, k)
+		c.m[k] = e
+		c.evictions++
+		return true
 	}
-	c.m[k] = r
+	// Every resident entry is pinned by the decision in flight: grow
+	// past the limit rather than drop state it depends on; the overflow
+	// is reclaimed by normal eviction once the pins clear.
+	c.ring = append(c.ring, k)
+	c.m[k] = e
+	return false
 }
 
-func (c *memoStore) len() int { return len(c.m) }
+func (c *certStore) len() int { return len(c.m) }
 
-func (c *memoStore) reset(limit int) {
+func (c *certStore) reset(limit int) {
 	c.limit = limit
-	c.m = make(map[uint64]satResult)
+	c.m = make(map[uint64]*certEntry)
 	c.ring = nil
 	c.pos = 0
 }
 
-// Memo is a satisfiability memo shared across solvers: per-worker
+// Memo is a certificate store shared across solvers: per-worker
 // solvers look it up read-only while solving and flush their new
 // entries into it at iteration barriers. It is NOT internally
 // synchronised — the sharing discipline is phased: FlushMemo and
 // SetSharedMemo must not run concurrently with any solver that reads
 // the memo (the parallel engine flushes only between rounds, while no
-// worker is live).
+// worker is live). Shared entries are never mutated after the flush
+// that created them, so concurrent readers need no locks.
 type Memo struct {
-	store memoStore
+	store certStore
 }
 
 // DefaultCacheLimit bounds memo caches unless overridden.
@@ -184,17 +256,21 @@ func NewMemo(limit int) *Memo {
 	if limit <= 0 {
 		limit = DefaultCacheLimit
 	}
-	return &Memo{store: newMemoStore(limit)}
+	return &Memo{store: newCertStore(limit)}
 }
 
 // Len returns the number of memoised decisions.
 func (m *Memo) Len() int { return m.store.len() }
 
+// Evictions returns how many entries the memo's bounded store has
+// clock-evicted over its lifetime.
+func (m *Memo) Evictions() int64 { return m.store.evictions }
+
 // New returns a solver over the given domains. The map is captured by
 // reference; callers may keep registering variables before use but
 // must not mutate it concurrently with solving.
 func New(doms Domains) *Solver {
-	return &Solver{doms: doms, cache: newMemoStore(DefaultCacheLimit), o: obs.Nop}
+	return &Solver{doms: doms, cache: newCertStore(DefaultCacheLimit), o: obs.Nop}
 }
 
 // SetObserver routes the solver's metrics — sat/implication latency,
@@ -213,32 +289,48 @@ func (s *Solver) SetObserver(o obs.Observer) {
 // handed a fresh budget.
 func (s *Solver) SetBudget(b *budget.B) { s.bud = b }
 
-// SetCacheLimit bounds the memo cache, resetting its contents; 0
-// disables memoisation (the ablation benches use this to quantify
-// what the cache buys). Past the limit the cache clock-evicts the
-// oldest entry rather than refusing new ones.
+// SetCacheLimit bounds the certificate cache, resetting its contents;
+// 0 disables memoisation AND the compiled finite-domain fast path —
+// the resulting pure-search solver is the baseline the ablation
+// benches and the differential fuzz tests compare against. Past the
+// limit the cache clock-evicts the oldest unpinned entry rather than
+// refusing new ones.
 func (s *Solver) SetCacheLimit(n int) {
 	s.cache.reset(n)
+	s.pinned = nil
 }
+
+// SetFastPath toggles the compiled finite-domain fast path (default
+// on). Independent of SetCacheLimit so the benches can isolate what
+// each layer buys.
+func (s *Solver) SetFastPath(on bool) { s.noFast = !on }
+
+// fastOn reports whether the fd fast path may run: it stores compiled
+// tables in the certificate cache, so it is meaningless (and would
+// recompile per call) with caching disabled.
+func (s *Solver) fastOn() bool { return !s.noFast && s.cache.limit > 0 }
 
 // SetSharedMemo attaches a shared memo consulted (read-only) when the
 // solver's own cache misses. Phased discipline: the memo must not be
 // flushed into while any solver holding it may be solving.
 func (s *Solver) SetSharedMemo(m *Memo) { s.shared = m }
 
-// FlushMemo moves this solver's memo entries into m (subject to m's
-// eviction policy), clears the local cache, and returns how many new
-// entries were transferred. The parallel engine calls this per worker
-// at iteration barriers, while no worker goroutine is live.
+// FlushMemo moves this solver's certificate entries into m (subject to
+// m's eviction policy), clears the local cache, and returns how many
+// new entries were transferred. The parallel engine calls this per
+// worker at iteration barriers, while no worker goroutine is live; no
+// decision is in flight at a barrier, so pins are dropped rather than
+// transferred.
 func (s *Solver) FlushMemo(m *Memo) int {
 	n := 0
-	for k, r := range s.cache.m {
+	for k, e := range s.cache.m {
 		if _, ok := m.store.get(k); !ok {
-			m.store.put(k, r)
+			m.store.put(k, &certEntry{c: e.c})
 			n++
 		}
 	}
 	s.cache.reset(s.cache.limit)
+	s.pinned = nil
 	return n
 }
 
@@ -252,9 +344,94 @@ func (s *Solver) Stats() Stats { return s.stats }
 // ResetStats zeroes the counters (the memo cache is kept).
 func (s *Solver) ResetStats() { s.stats = Stats{} }
 
+// lookupAny returns the certificate entry for key from the solver's
+// own cache or, failing that, the shared memo. own reports which store
+// it came from: shared entries are read concurrently by other workers
+// and must never be mutated or pinned — upgrades go to the own cache.
+func (s *Solver) lookupAny(key uint64) (e *certEntry, own bool) {
+	if e, ok := s.cache.get(key); ok {
+		return e, true
+	}
+	if s.shared != nil {
+		if e, ok := s.shared.store.get(key); ok {
+			return e, false
+		}
+	}
+	return nil, false
+}
+
+// store records c under key in the solver's own cache, merging with
+// any existing entry: only undecided fields are filled in, so a
+// validity upgrade never clobbers a witness or a compiled fd table.
+func (s *Solver) store(key uint64, c cert) {
+	if s.cache.limit <= 0 {
+		return
+	}
+	if e, ok := s.cache.m[key]; ok {
+		if e.c.sat == 0 {
+			e.c.sat = c.sat
+		}
+		if e.c.valid == 0 {
+			e.c.valid = c.valid
+		}
+		if e.c.err == nil {
+			e.c.err = c.err
+		}
+		if e.c.witness == nil {
+			e.c.witness = c.witness
+		}
+		if e.c.fd == nil {
+			e.c.fd = c.fd
+		}
+		return
+	}
+	if s.cache.put(key, &certEntry{c: c}) {
+		s.stats.Evictions++
+	}
+}
+
+// pin marks an own-cache entry as in-flight so eviction skips it; pins
+// last until the enclosing top-level decision completes.
+func (s *Solver) pin(e *certEntry) {
+	if !e.pinned {
+		e.pinned = true
+		s.pinned = append(s.pinned, e)
+	}
+}
+
+func (s *Solver) unpinAll() {
+	for _, e := range s.pinned {
+		e.pinned = false
+	}
+	s.pinned = s.pinned[:0]
+}
+
+func (s *Solver) countObs(name string) {
+	if s.obsOn {
+		s.o.Count(name, 1)
+	}
+}
+
 // Satisfiable reports whether some assignment of the c-variables,
 // respecting their domains, makes f true.
 func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
+	return s.satisfy(f, nil)
+}
+
+// SatisfiableFrom decides f incrementally from base's certificate.
+// Contract: f must entail base — typically f = base ∧ extra atoms, the
+// dominant shape in semi-naive join rounds, where eval conjoins new
+// atoms onto an already-decided condition. An unsatisfiable base then
+// decides f with no search at all, and a satisfying witness for base
+// is replayed over f watched-literal style: only the atoms the witness
+// reaches are re-evaluated, and the whole formula must come out true
+// under every extension of the witness for the replay to answer. A nil
+// base is a plain Satisfiable call.
+func (s *Solver) SatisfiableFrom(f, base *cond.Formula) (bool, error) {
+	return s.satisfy(f, base)
+}
+
+func (s *Solver) satisfy(f, base *cond.Formula) (bool, error) {
 	s.stats.SatCalls++
 	if faultinject.Armed() {
 		if err := faultinject.Fire(faultinject.SolverSat); err != nil {
@@ -274,48 +451,185 @@ func (s *Solver) Satisfiable(f *cond.Formula) (bool, error) {
 		s.o.Observe("solver.condition_atoms", float64(f.NAtoms()))
 	}
 	key := f.ID()
-	r, ok := s.cache.get(key)
-	if !ok && s.shared != nil {
-		r, ok = s.shared.store.get(key)
-	}
-	if ok {
+	if e, _ := s.lookupAny(key); e != nil && e.c.decidedSat() {
 		s.stats.CacheHits++
 		if s.obsOn {
 			s.o.Count("solver.cache_hits", 1)
 			s.o.ObserveDuration("solver.sat_latency", time.Since(start))
 		}
-		return r.sat, r.err
+		return e.c.sat > 0, e.c.err
 	}
-	sat, err := s.enumerate(f)
+	c := s.decide(f, base)
 	// A budget trip is a property of this run, not of the formula:
 	// caching it would poison the memo for a later run under a fresh
 	// budget.
-	if _, budgetErr := budget.As(err); !budgetErr {
-		s.cache.put(key, satResult{sat, err})
+	if _, budgetErr := budget.As(c.err); !budgetErr {
+		s.store(key, c)
 	}
+	s.unpinAll()
 	if s.obsOn {
 		s.o.ObserveDuration("solver.sat_latency", time.Since(start))
 		s.o.SetGauge("solver.cache_size", float64(s.cache.len()))
 	}
-	return sat, err
+	return c.sat > 0, c.err
 }
 
-// Valid reports whether f holds under every assignment.
+// decide computes a fresh certificate for f, trying the cheap layers
+// in order: replay of the base condition's certificate, bottom-up
+// propagation of child certificates through the interned DAG, the
+// compiled finite-domain fast path, and finally general search.
+func (s *Solver) decide(f, base *cond.Formula) cert {
+	// Layer 0: incremental re-solve from the base certificate. f
+	// entails base (SatisfiableFrom contract), so unsat base ⇒ unsat f;
+	// a sat witness for base decides f when f evaluates true under
+	// every extension of it. The witness replay is sound independent of
+	// the contract — EvalPartial checks f itself.
+	if base != nil && base != f {
+		if e, _ := s.lookupAny(base.ID()); e != nil && e.c.err == nil {
+			if e.c.sat < 0 {
+				s.stats.CertHits++
+				s.countObs("solver.cert_hits")
+				return cert{sat: -1, valid: -1}
+			}
+			if e.c.sat > 0 && len(e.c.witness) > 0 && f.EvalPartial(witLookup(e.c.witness)) > 0 {
+				s.stats.CertHits++
+				s.countObs("solver.cert_hits")
+				return cert{sat: 1, witness: e.c.witness}
+			}
+		}
+	}
+	// Layer 1: child-certificate propagation.
+	if c, ok := s.propagate(f); ok {
+		s.stats.CertHits++
+		s.countObs("solver.cert_hits")
+		return c
+	}
+	// Layer 2: compiled finite-domain fast path — bitset lattice
+	// elements over enum-domain c-variables, decided with zero search.
+	if s.fastOn() {
+		t, err := s.compileFD(f)
+		if err == nil {
+			s.stats.FastPathHits++
+			s.countObs("solver.fastpath_hits")
+			return certFromFD(t)
+		}
+		if !errors.Is(err, errFDUnsupported) {
+			return cert{err: err} // budget trip mid-compilation
+		}
+	}
+	// Layer 3: general search, collecting a witness for future replay.
+	var wit map[string]cond.Term
+	if s.cache.limit > 0 {
+		wit = make(map[string]cond.Term)
+	}
+	sat, err := s.enumerate(f, wit)
+	c := cert{err: err}
+	switch {
+	case sat:
+		c.sat = 1
+		c.witness = wit
+	case err == nil:
+		c.sat = -1
+		c.valid = -1 // unsat is false everywhere, hence falsifiable
+	}
+	return c
+}
+
+// propagate tries to decide f from its children's cached certificates
+// alone: an unsatisfiable conjunct kills an And, a satisfiable
+// disjunct satisfies an Or (adopting its witness), and a Not inverts
+// its child's validity/unsatisfiability.
+func (s *Solver) propagate(f *cond.Formula) (cert, bool) {
+	switch f.Kind {
+	case cond.FAnd:
+		for _, sub := range f.Sub {
+			if e, _ := s.lookupAny(sub.ID()); e != nil && e.c.err == nil && e.c.sat < 0 {
+				return cert{sat: -1, valid: -1}, true
+			}
+		}
+	case cond.FOr:
+		for _, sub := range f.Sub {
+			if e, _ := s.lookupAny(sub.ID()); e != nil && e.c.err == nil && e.c.sat > 0 {
+				return cert{sat: 1, witness: e.c.witness}, true
+			}
+		}
+	case cond.FNot:
+		if e, _ := s.lookupAny(f.Sub[0].ID()); e != nil && e.c.err == nil {
+			switch {
+			case e.c.valid > 0: // ¬(valid) is unsat
+				return cert{sat: -1, valid: -1}, true
+			case e.c.sat < 0: // ¬(unsat) is valid
+				return cert{sat: 1, valid: 1}, true
+			case e.c.valid < 0: // ¬(falsifiable) is sat
+				return cert{sat: 1}, true
+			}
+		}
+	}
+	return cert{}, false
+}
+
+func witLookup(w map[string]cond.Term) func(string) (cond.Term, bool) {
+	return func(name string) (cond.Term, bool) {
+		v, ok := w[name]
+		return v, ok
+	}
+}
+
+// Valid reports whether f holds under every assignment. A cached
+// validity certificate (recorded by earlier Valid calls and by the fd
+// fast path) answers without touching ¬f.
 func (s *Solver) Valid(f *cond.Formula) (bool, error) {
+	switch f.Kind {
+	case cond.FTrue:
+		return true, nil
+	case cond.FFalse:
+		return false, nil
+	}
+	if e, _ := s.lookupAny(f.ID()); e != nil && e.c.err == nil && e.c.valid != 0 {
+		s.stats.SatCalls++
+		s.stats.CertHits++
+		s.countObs("solver.cert_hits")
+		return e.c.valid > 0, nil
+	}
 	sat, err := s.Satisfiable(cond.Not(f))
+	if err == nil {
+		s.noteValid(f, !sat)
+	}
 	return !sat, err
+}
+
+// noteValid upgrades f's own-cache certificate with a validity
+// verdict; domains are non-empty, so valid also implies satisfiable.
+func (s *Solver) noteValid(f *cond.Formula, valid bool) {
+	if s.cache.limit <= 0 {
+		return
+	}
+	c := cert{valid: -1}
+	if valid {
+		c = cert{sat: 1, valid: 1}
+	}
+	s.store(f.ID(), c)
 }
 
 // Implies reports whether every assignment satisfying f also satisfies
 // g (f ⇒ g), i.e. f ∧ ¬g is unsatisfiable.
 func (s *Solver) Implies(f, g *cond.Formula) (bool, error) {
+	return s.ImpliesFrom(f, g, nil)
+}
+
+// ImpliesFrom is Implies with an incremental hint: base must be
+// entailed by f ∧ ¬g (absorption passes the candidate condition
+// itself, containment its standing assumption), so base's cached
+// unsat certificate or replayed witness can short-circuit the
+// entailment check.
+func (s *Solver) ImpliesFrom(f, g, base *cond.Formula) (bool, error) {
 	if !s.obsOn {
-		sat, err := s.Satisfiable(cond.And(f, cond.Not(g)))
+		sat, err := s.satisfy(cond.And(f, cond.Not(g)), base)
 		return !sat, err
 	}
 	start := time.Now()
 	s.o.Count("solver.implies_calls", 1)
-	sat, err := s.Satisfiable(cond.And(f, cond.Not(g)))
+	sat, err := s.satisfy(cond.And(f, cond.Not(g)), base)
 	s.o.ObserveDuration("solver.implies_latency", time.Since(start))
 	return !sat, err
 }
@@ -333,8 +647,13 @@ func (s *Solver) Equivalent(f, g *cond.Formula) (bool, error) {
 // enumerate eliminates finite-domain c-variables one at a time,
 // substituting each candidate value and recursing on the simplified
 // formula; once only unbounded variables remain it falls through to
-// the residual DPLL procedure.
-func (s *Solver) enumerate(f *cond.Formula) (bool, error) {
+// the residual DPLL procedure. A non-nil wit map accumulates the
+// finite-domain assignments along the satisfying path — the witness
+// the certificate layer replays over extended formulas. (When the
+// residual DPLL answers sat the witness is partial; replay via
+// EvalPartial only answers when the partial assignment already forces
+// the formula, so that is sound.)
+func (s *Solver) enumerate(f *cond.Formula, wit map[string]cond.Term) (bool, error) {
 	s.stats.EnumNodes++
 	if err := s.bud.SolverStep(); err != nil {
 		return false, err
@@ -352,7 +671,10 @@ func (s *Solver) enumerate(f *cond.Formula) (bool, error) {
 	var firstErr error
 	for _, v := range dom.Values {
 		g := f.Subst(map[string]cond.Term{name: v})
-		sat, err := s.enumerate(g)
+		if wit != nil {
+			wit[name] = v
+		}
+		sat, err := s.enumerate(g, wit)
 		if err != nil {
 			// Budget exhaustion aborts the whole search: with branches
 			// unexplored the answer would be unsound either way.
@@ -362,10 +684,16 @@ func (s *Solver) enumerate(f *cond.Formula) (bool, error) {
 			if firstErr == nil {
 				firstErr = err
 			}
+			if wit != nil {
+				delete(wit, name)
+			}
 			continue
 		}
 		if sat {
 			return true, nil
+		}
+		if wit != nil {
+			delete(wit, name)
 		}
 	}
 	return false, firstErr

@@ -68,6 +68,19 @@ type Table4Row struct {
 	// solver probe (the syntactic conjunct fast path answers the rest).
 	AbsorbProbes int
 	SatCalls     int
+	// Incremental-solver counters: decisions answered by an exact-key
+	// cached certificate, by a related certificate (base-witness replay
+	// or DAG propagation), by the compiled finite-domain fast path, the
+	// decisions that reached actual search, and certificate-store
+	// evictions. SatCallsPerDerived = SolverSearches / Derived is the
+	// headline metric — well below 1 means certificates, not search,
+	// carried the run.
+	SolverCacheHits    int
+	SolverCertHits     int
+	SolverFastPathHits int
+	SolverSearches     int
+	MemoEvictions      int64
+	SatCallsPerDerived float64
 	// Intern counters snapshot the condition intern table: hit/miss
 	// deltas attributed to this query's evaluation plus the table's
 	// live-node count when it finished (process-wide, monotonic).
@@ -111,6 +124,14 @@ func rowFromStats(query string, s faurelog.Stats, tuples int) Table4Row {
 		Absorbed:     s.Absorbed,
 		AbsorbProbes: s.AbsorbProbes,
 		SatCalls:     s.SatCalls,
+
+		SolverCacheHits:    s.SolverCacheHits,
+		SolverCertHits:     s.SolverCertHits,
+		SolverFastPathHits: s.SolverFastPathHits,
+		SolverSearches:     s.SolverSearches,
+		MemoEvictions:      s.MemoEvictions,
+		SatCallsPerDerived: s.SatCallsPerDerived(),
+
 		InternHits:   s.InternHits,
 		InternMisses: s.InternMisses,
 		InternLive:   s.InternLive,
